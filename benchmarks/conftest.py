@@ -1,0 +1,92 @@
+"""Shared fixtures for the figure/table regeneration benchmarks.
+
+GA virus generation is expensive and several figures consume the same
+virus, so the five Table 2 viruses (a72em, a72OC-DSO, a53em, amdEm,
+amdOsc) are session-scoped fixtures, run at the paper's scale:
+population 50, 60 generations.
+
+Every benchmark prints the series/rows of its paper figure so the run
+log doubles as the reproduction record.
+"""
+
+import numpy as np
+import pytest
+
+from repro import EMCharacterizer, VirusGenerator
+from repro import make_amd_desktop, make_juno_board
+from repro.ga import GAConfig
+from repro.instruments.spectrum_analyzer import SpectrumAnalyzer
+
+GA_SCALE = GAConfig(
+    population_size=50, generations=60, loop_length=50, seed=1
+)
+
+
+def paper_characterizer(seed: int) -> EMCharacterizer:
+    return EMCharacterizer(
+        analyzer=SpectrumAnalyzer(rng=np.random.default_rng(seed)),
+        samples=10,
+    )
+
+
+@pytest.fixture(scope="session")
+def juno_board():
+    return make_juno_board()
+
+
+@pytest.fixture(scope="session")
+def amd_desktop():
+    return make_amd_desktop()
+
+
+@pytest.fixture(scope="session")
+def a72_em_virus(juno_board):
+    """The a72em virus of Table 2 / Figs. 7, 9, 10."""
+    juno_board.a72.reset()
+    gen = VirusGenerator(
+        juno_board.a72, paper_characterizer(42), config=GA_SCALE
+    )
+    return gen.generate_em_virus()
+
+
+@pytest.fixture(scope="session")
+def a72_dso_virus(juno_board):
+    """The a72OC-DSO voltage-feedback virus of Table 2 / Fig. 10."""
+    juno_board.a72.reset()
+    gen = VirusGenerator(juno_board.a72, config=GA_SCALE)
+    return gen.generate_droop_virus(juno_board.oc_dso)
+
+
+@pytest.fixture(scope="session")
+def a53_em_virus(juno_board):
+    """The a53em virus of Table 2 / Figs. 12, 14, 15."""
+    juno_board.a53.reset()
+    gen = VirusGenerator(
+        juno_board.a53, paper_characterizer(7), config=GA_SCALE
+    )
+    return gen.generate_em_virus()
+
+
+@pytest.fixture(scope="session")
+def amd_em_virus(amd_desktop):
+    """The amdEm virus of Table 2 / Figs. 17, 18."""
+    amd_desktop.cpu.reset()
+    gen = VirusGenerator(
+        amd_desktop.cpu, paper_characterizer(17), config=GA_SCALE
+    )
+    return gen.generate_em_virus()
+
+
+@pytest.fixture(scope="session")
+def amd_osc_virus(amd_desktop):
+    """The amdOsc Kelvin-pad-feedback virus of Table 2 / Fig. 18."""
+    amd_desktop.cpu.reset()
+    gen = VirusGenerator(amd_desktop.cpu, config=GA_SCALE)
+    return gen.generate_oscilloscope_virus(amd_desktop.probe)
+
+
+def print_header(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)

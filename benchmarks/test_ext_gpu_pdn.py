@@ -1,0 +1,69 @@
+"""Extension: the methodology on a GPU PDN (Section 10 future work).
+
+The paper closes with *"we aim to extend our methodology to GPU PDNs"*.
+With the cluster abstraction, a GPU is just a wide-SIMD device on its
+own rail: the fast EM sweep finds its resonance, CU power gating shifts
+it, and the EM-driven GA evolves a GPU dI/dt virus -- no voltage
+visibility required (GPUs expose none).
+"""
+
+import numpy as np
+
+from repro.core.resonance import ResonanceSweep
+from repro.core.virusgen import VirusGenerator
+from repro.ga.engine import GAConfig
+from repro.platforms.gpu import make_gpu_card
+from repro.workloads.loops import high_low_program
+
+from benchmarks.conftest import paper_characterizer, print_header
+
+CLOCKS = [1.0e9 - k * 25e6 for k in range(0, 32)]
+
+
+def test_ext_gpu_methodology(benchmark):
+    card = make_gpu_card()
+    gpu = card.gpu
+    char = paper_characterizer(91)
+
+    def run_study():
+        sweep = ResonanceSweep(char, samples_per_point=5)
+        gating = sweep.power_gating_study(
+            gpu, core_counts=(8, 4, 1), clocks_hz=CLOCKS
+        )
+        gen = VirusGenerator(
+            gpu,
+            char,
+            config=GAConfig(
+                population_size=30, generations=25, loop_length=50,
+                seed=3,
+            ),
+        )
+        summary = gen.generate_em_virus()
+        return gating, summary
+
+    gating, summary = benchmark.pedantic(run_study, rounds=1, iterations=1)
+    print_header("Extension: EM methodology on an 8-CU GPU rail")
+    for result in gating:
+        print(
+            f"  {result.powered_cores} CUs powered: resonance "
+            f"{result.resonance_hz() / 1e6:5.1f} MHz"
+        )
+    print(
+        f"  GA virus: dominant {summary.dominant_frequency_hz / 1e6:.1f} "
+        f"MHz, droop {summary.max_droop_v * 1e3:.1f} mV, "
+        f"IPC {summary.ipc:.2f}"
+    )
+    baseline = gpu.run(high_low_program(gpu.spec.isa))
+    print(
+        f"  (hand loop at nominal clock: droop "
+        f"{baseline.max_droop * 1e3:.1f} mV)"
+    )
+
+    freqs = [r.resonance_hz() for r in gating]
+    # calibrated endpoints: 55 MHz (8 CUs) -> ~90 MHz (1 CU)
+    assert abs(freqs[0] - 55e6) < 6e6
+    assert abs(freqs[-1] - 90e6) < 8e6
+    assert all(b >= a for a, b in zip(freqs, freqs[1:]))
+    # GA locks near the all-CU resonance and beats the hand loop
+    assert abs(summary.dominant_frequency_hz - 55e6) < 8e6
+    assert summary.max_droop_v > baseline.max_droop

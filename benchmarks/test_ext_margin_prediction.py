@@ -1,0 +1,70 @@
+"""Extension: EM-based voltage-margin prediction (Section 10 (c)).
+
+The paper's future work: predict a workload's voltage margin from its
+EM emanations during conventional execution -- no undervolting of the
+deployed system.  Calibrate on a subset of workloads (where V_MIN was
+measured once, e.g. on a reference unit) and predict the V_MIN of
+held-out workloads from a single passive EM reading each.
+"""
+
+import numpy as np
+
+from repro.core.margin import EMMarginPredictor, MarginCalibrationPoint
+from repro.stability.failure import failure_model_for
+from repro.stability.vmin import VminTester
+from repro.workloads.spec import spec_suite
+from repro.workloads.stress import idle_workload
+
+from benchmarks.conftest import paper_characterizer, print_header
+
+CALIBRATION = ["gcc", "milc", "namd", "lbm", "hmmer", "astar"]
+HOLDOUT = ["mcf", "povray", "sphinx3", "bzip2", "omnetpp", "h264ref"]
+
+
+def test_ext_margin_prediction(benchmark, juno_board):
+    a72 = juno_board.a72
+    a72.reset()
+    predictor = EMMarginPredictor(paper_characterizer(71))
+    tester = VminTester(a72, failure_model_for("cortex-a72"), seed=27)
+
+    def run_study():
+        points = []
+        for wl in [idle_workload()] + spec_suite(
+            a72.spec.isa, CALIBRATION
+        ):
+            amp = predictor.measure_amplitude(a72, wl)
+            vmin = tester.run(wl, repeats=2).vmin
+            points.append(MarginCalibrationPoint(wl.name, amp, vmin))
+        predictor.fit(points)
+
+        rows = []
+        for wl in spec_suite(a72.spec.isa, HOLDOUT):
+            predicted = predictor.predict_workload(a72, wl)
+            actual = tester.run(wl, repeats=2).vmin
+            rows.append(
+                (wl.name, predicted.predicted_vmin, actual)
+            )
+        return points, rows
+
+    points, rows = benchmark.pedantic(run_study, rounds=1, iterations=1)
+    print_header(
+        "Extension: V_MIN prediction from passive EM readings (A72)"
+    )
+    print(
+        f"  calibration: {len(points)} workloads, residual "
+        f"{predictor.calibration_residual_v() * 1e3:.1f} mV"
+    )
+    print(f"{'workload':<12} {'predicted':>11} {'measured':>10} {'err':>8}")
+    errors = []
+    for name, predicted, actual in rows:
+        err = predicted - actual
+        errors.append(err)
+        print(
+            f"{name:<12} {predicted:>9.3f} V {actual:>8.3f} V "
+            f"{err * 1e3:>+6.1f} mV"
+        )
+    rmse = float(np.sqrt(np.mean(np.square(errors))))
+    print(f"  holdout RMSE: {rmse * 1e3:.1f} mV")
+    # predictions land within ~2 undervolting steps on unseen workloads
+    assert rmse < 0.020
+    assert max(abs(e) for e in errors) < 0.035

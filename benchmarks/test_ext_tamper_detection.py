@@ -1,0 +1,88 @@
+"""Extension: PDN tamper detection via resonance drift (Section 10 (a)).
+
+The paper proposes on-the-fly PDN characterization for tampering
+detection.  Enroll a golden Cortex-A72 unit's resonance fingerprint,
+then screen: pristine clones must pass, units with altered power
+delivery (implant capacitance, interposer inductance) must be flagged.
+"""
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.resonance import ResonanceSweep
+from repro.core.tamper import TamperDetector
+from repro.cpu.pipeline import OutOfOrderPipeline
+from repro.pdn.models import scaled
+from repro.platforms.base import Cluster
+from repro.platforms.juno import A72_SPEC, A72_UNITS
+
+from benchmarks.conftest import paper_characterizer, print_header
+
+CLOCKS = [1.2e9 - k * 20e6 for k in range(0, 54)]
+
+
+def unit(pdn_params=None):
+    spec = A72_SPEC
+    if pdn_params is not None:
+        spec = dataclasses.replace(spec, pdn_params=pdn_params)
+    return Cluster(
+        spec,
+        OutOfOrderPipeline(
+            width=3, window=48, rob_size=128, unit_counts=A72_UNITS
+        ),
+    )
+
+
+def test_ext_tamper_screening(benchmark):
+    detector = TamperDetector(
+        ResonanceSweep(paper_characterizer(81), samples_per_point=4),
+        tolerance=0.06,
+    )
+
+    def run_screening():
+        golden = detector.enroll(unit(), clocks_hz=CLOCKS)
+        cases = {
+            "pristine clone": unit(),
+            "+40% rail capacitance (implant)": unit(
+                scaled(
+                    A72_SPEC.pdn_params,
+                    c_die_base=A72_SPEC.pdn_params.c_die_base * 1.4,
+                    c_die_per_core=(
+                        A72_SPEC.pdn_params.c_die_per_core * 1.4
+                    ),
+                )
+            ),
+            "2x package inductance (interposer)": unit(
+                scaled(
+                    A72_SPEC.pdn_params,
+                    l_pkg=A72_SPEC.pdn_params.l_pkg * 2.0,
+                )
+            ),
+        }
+        verdicts = {
+            name: detector.check(dut, golden, clocks_hz=CLOCKS)
+            for name, dut in cases.items()
+        }
+        return golden, verdicts
+
+    golden, verdicts = benchmark.pedantic(
+        run_screening, rounds=1, iterations=1
+    )
+    print_header("Extension: tamper screening by resonance fingerprint")
+    print(
+        "  golden fingerprint: "
+        + ", ".join(
+            f"{n} cores -> {f / 1e6:.1f} MHz"
+            for n, f in sorted(golden.resonances_hz.items())
+        )
+    )
+    for name, verdict in verdicts.items():
+        flag = "TAMPERED" if verdict.tampered else "clean"
+        print(
+            f"  {name:<36} drift {verdict.worst_drift_fraction * 100:5.1f}%"
+            f"  -> {flag}"
+        )
+    assert not verdicts["pristine clone"].tampered
+    assert verdicts["+40% rail capacitance (implant)"].tampered
+    assert verdicts["2x package inductance (interposer)"].tampered

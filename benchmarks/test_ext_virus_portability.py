@@ -1,0 +1,57 @@
+"""Extension: are dI/dt viruses portable across CPUs? (Section 8)
+
+The paper generates a separate virus per platform because each PDN has
+its own resonance.  This study quantifies the specificity on the two
+ARM clusters (same ISA, so binaries are portable): each cluster's own
+EM virus is run on the *other* cluster and its voltage noise compared
+against the native virus.  The native virus wins on its home cluster --
+a 67 MHz-tuned loop does not ring a 76.5 MHz tank as hard -- which is
+exactly why post-silicon characterization must be per-platform.
+"""
+
+from repro.workloads.base import ProgramWorkload
+
+from benchmarks.conftest import print_header
+
+
+def test_ext_virus_portability(
+    benchmark, juno_board, a72_em_virus, a53_em_virus
+):
+    a72 = juno_board.a72
+    a53 = juno_board.a53
+    a72.reset()
+    a53.reset()
+
+    def run_matrix():
+        results = {}
+        for cluster in (a72, a53):
+            for label, summary in (
+                ("a72em", a72_em_virus),
+                ("a53em", a53_em_virus),
+            ):
+                wl = ProgramWorkload(label, summary.virus, jitter_seed=None)
+                run = wl.run(cluster)
+                results[(cluster.name, label)] = run.peak_to_peak
+        return results
+
+    results = benchmark.pedantic(run_matrix, rounds=1, iterations=1)
+    print_header("Extension: cross-platform virus portability (ARM pair)")
+    print(f"{'virus':<8} {'on cortex-a72':>15} {'on cortex-a53':>15}")
+    for label in ("a72em", "a53em"):
+        print(
+            f"{label:<8} "
+            f"{results[('cortex-a72', label)] * 1e3:>12.1f} mV "
+            f"{results[('cortex-a53', label)] * 1e3:>12.1f} mV"
+        )
+
+    # each virus is strongest on its home cluster
+    assert results[("cortex-a72", "a72em")] > results[
+        ("cortex-a72", "a53em")
+    ]
+    assert results[("cortex-a53", "a53em")] > results[
+        ("cortex-a53", "a72em")
+    ]
+    # and the specificity is substantial (>20 % noise advantage at home)
+    assert results[("cortex-a72", "a72em")] > 1.2 * results[
+        ("cortex-a72", "a53em")
+    ]

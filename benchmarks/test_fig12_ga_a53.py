@@ -1,0 +1,38 @@
+"""Figure 12: EM-amplitude-driven GA on the Cortex-A53.
+
+Paper: the GA maximizes EM amplitude on a cluster that has NO voltage
+visibility at all, converging to a 75 MHz dominant frequency (the
+cluster's 76.5 MHz resonance).
+"""
+
+import numpy as np
+
+from repro.instruments.spectrum_analyzer import watts_to_dbm
+from repro.platforms.base import NoiseVisibility
+
+from benchmarks.conftest import print_header
+
+
+def test_fig12_ga_on_blind_cluster(benchmark, juno_board, a53_em_virus):
+    assert juno_board.a53.spec.visibility is NoiseVisibility.NONE
+    summary = benchmark.pedantic(
+        lambda: a53_em_virus, rounds=1, iterations=1
+    )
+    print_header(
+        "Fig. 12: EM-driven GA on Cortex-A53 (no voltage visibility)"
+    )
+    print(f"{'gen':>4} {'EM amplitude':>14} {'dominant':>12}")
+    history = summary.ga_result.history
+    for rec in history[:: max(1, len(history) // 10)]:
+        dbm = float(watts_to_dbm(np.array(rec.best.score)))
+        print(
+            f"{rec.generation:>4} {dbm:>10.1f} dBm "
+            f"{rec.best.dominant_frequency_hz / 1e6:>9.1f} MHz"
+        )
+    scores = summary.ga_result.score_series()
+    print(
+        f"  final dominant: {summary.dominant_frequency_hz / 1e6:.1f} MHz "
+        f"(paper: 75 MHz; sweep: 76.5 MHz)"
+    )
+    assert scores[-1] > 2.0 * scores[0]
+    assert abs(summary.dominant_frequency_hz - 76.5e6) < 9e6

@@ -1,0 +1,49 @@
+"""Figure 13: A53 resonance exploration across power-gating states.
+
+Paper: with one active core throughout (constant load), the resonance
+climbs from 76.5 MHz with all four cores powered to 97 MHz with one,
+and the EM amplitude grows as capacitance leaves the rail.
+"""
+
+from repro.core.resonance import ResonanceSweep
+
+from benchmarks.conftest import paper_characterizer, print_header
+
+CLOCKS = [950e6 - k * 25e6 for k in range(0, 34)]
+
+
+def test_fig13_power_gating_states(benchmark, juno_board):
+    a53 = juno_board.a53
+    a53.reset()
+    sweep = ResonanceSweep(paper_characterizer(33), samples_per_point=5)
+
+    def regenerate():
+        return sweep.power_gating_study(
+            a53, core_counts=(4, 3, 2, 1), clocks_hz=CLOCKS
+        )
+
+    results = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    print_header("Fig. 13: A53 resonance vs powered cores (1 active core)")
+    print(f"{'state':<12} {'resonance':>12} {'peak amplitude':>16}")
+    rows = []
+    for result in results:
+        label = "C0" + "".join(
+            f"C{i}" for i in range(1, result.powered_cores)
+        )
+        peak_amp = max(p.amplitude_w for p in result.points)
+        rows.append((result.powered_cores, result.resonance_hz(), peak_amp))
+        print(
+            f"{label:<12} {result.resonance_hz() / 1e6:>9.1f} MHz "
+            f"{peak_amp:>13.3e} W"
+        )
+
+    freqs = [f for _, f, _ in rows]  # ordered 4 -> 1 powered cores
+    amps = [a for _, _, a in rows]
+    # resonance rises monotonically (non-strict: sweep quantization)
+    assert all(b >= a for a, b in zip(freqs, freqs[1:]))
+    assert freqs[-1] > freqs[0] + 8e6
+    # paper's endpoints: 76.5 MHz (x4) and 97 MHz (x1)
+    assert abs(freqs[0] - 76.5e6) < 8e6
+    assert abs(freqs[-1] - 97e6) < 8e6
+    # with constant load, less capacitance -> larger noise/EM amplitude
+    assert amps[-1] > amps[0]

@@ -1,0 +1,30 @@
+"""Figure 16: loop-frequency sweep on the Athlon II X4 645.
+
+Paper: the fast EM sweep on the x86-64 desktop CPU reveals a first-
+order resonance at 78 MHz.
+"""
+
+from repro.core.resonance import ResonanceSweep
+
+from benchmarks.conftest import paper_characterizer, print_header
+
+CLOCKS = [3.1e9 - k * 100e6 for k in range(0, 24)]
+
+
+def test_fig16_amd_loop_sweep(benchmark, amd_desktop):
+    cpu = amd_desktop.cpu
+    cpu.reset()
+    sweep = ResonanceSweep(paper_characterizer(61), samples_per_point=5)
+
+    def regenerate():
+        return sweep.run(cpu, clocks_hz=CLOCKS)
+
+    result = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    print_header("Fig. 16: EM loop-frequency sweep on the AMD CPU")
+    freqs, amps = result.series()
+    print(f"{'loop f':>9} {'amplitude':>14}")
+    for f, a in zip(freqs, amps):
+        print(f"{f / 1e6:>6.1f} MHz {a:>11.3e} W")
+    res = result.resonance_hz()
+    print(f"  resonance: {res / 1e6:.1f} MHz (paper: 78 MHz)")
+    assert abs(res - 78e6) < 6e6

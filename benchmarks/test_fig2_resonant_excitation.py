@@ -1,0 +1,49 @@
+"""Figure 2: resonant current excitation maximizes V/I oscillations.
+
+Paper (HSPICE): pulsing I_LOAD at the first-order resonance sets off
+large-magnitude V_DIE and I_DIE oscillations -- the mechanism that
+makes EM power peak at the resonance.
+"""
+
+import numpy as np
+
+from repro.pdn.models import PDNModel, CORTEX_A72_PDN
+
+from benchmarks.conftest import print_header
+
+
+def regenerate():
+    """Peak-to-peak V_DIE and I_DIE vs excitation frequency."""
+    model = PDNModel(CORTEX_A72_PDN)
+    solver = model.solver(2)
+    n = 64
+    wave = np.where(np.arange(n) < n // 2, 1.5, 0.5)
+    rows = []
+    for f in (20e6, 40e6, 55e6, 67e6, 80e6, 100e6, 150e6):
+        resp = solver.solve(wave, n * f)
+        i_ac = float(np.ptp(resp.die_current))
+        rows.append((f, resp.peak_to_peak, i_ac))
+    return rows
+
+
+def test_fig2_resonant_oscillation(benchmark):
+    rows = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    print_header(
+        "Fig. 2: V_DIE / I_DIE oscillation vs pulsed-load frequency (A72)"
+    )
+    print(f"{'f_load':>10} {'V p2p':>12} {'I_die p2p':>12}")
+    for f, v_p2p, i_p2p in rows:
+        print(
+            f"{f / 1e6:>7.0f} MHz {v_p2p * 1e3:>9.1f} mV "
+            f"{i_p2p:>9.2f} A"
+        )
+    by_freq = {f: (v, i) for f, v, i in rows}
+    v_res, i_res = by_freq[67e6]
+    # both voltage and die-current oscillations maximize at resonance
+    assert v_res == max(v for _, v, _ in rows)
+    assert i_res == max(i for _, _, i in rows)
+    # and the amplification is strong (paper: "large-magnitude")
+    assert v_res > 2.0 * by_freq[150e6][0]
+    # the die current oscillation exceeds the 1 A load swing: the tank
+    # circulates current (this is what radiates)
+    assert i_res > 1.0

@@ -1,0 +1,49 @@
+"""Figure 4: OC-DSO voltage waveforms for three workload classes.
+
+Paper: the dI/dt virus causes much larger voltage noise than a regular
+SPEC2006 benchmark, which in turn is noisier than idle.
+"""
+
+import numpy as np
+
+from repro.workloads.base import ProgramWorkload
+from repro.workloads.spec import spec_workload
+from repro.workloads.stress import idle_workload
+
+from benchmarks.conftest import print_header
+
+
+def test_fig4_waveform_comparison(benchmark, juno_board, a72_em_virus):
+    a72 = juno_board.a72
+    a72.reset()
+
+    def regenerate():
+        runs = {
+            "idle": idle_workload().run(a72),
+            "spec (gcc)": spec_workload(a72.spec.isa, "gcc").run(a72),
+            "dI/dt virus": ProgramWorkload(
+                "virus", a72_em_virus.virus, jitter_seed=None
+            ).run(a72),
+        }
+        captures = {
+            name: juno_board.oc_dso.capture(run.response, 4e-6)
+            for name, run in runs.items()
+        }
+        return captures
+
+    captures = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    print_header("Fig. 4: OC-DSO waveforms, Cortex-A72 at 1.2 GHz / 1.0 V")
+    print(f"{'workload':<14} {'p2p':>10} {'max droop':>12}")
+    stats = {}
+    for name, cap in captures.items():
+        stats[name] = (cap.peak_to_peak(), cap.max_droop())
+        print(
+            f"{name:<14} {stats[name][0] * 1e3:>7.1f} mV "
+            f"{stats[name][1] * 1e3:>9.1f} mV"
+        )
+    # virus >> SPEC >> idle, as in the figure
+    assert stats["dI/dt virus"][0] > 2.0 * stats["spec (gcc)"][0]
+    assert stats["spec (gcc)"][0] > stats["idle"][0]
+    assert stats["dI/dt virus"][1] > stats["spec (gcc)"][1] > (
+        stats["idle"][1]
+    )

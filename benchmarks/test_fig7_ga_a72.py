@@ -1,0 +1,52 @@
+"""Figure 7: EM-driven GA run on the Cortex-A72.
+
+Paper: peak EM amplitude of the best individual grows generation over
+generation; the re-measured OC-DSO droop grows with it; the dominant
+frequency locks onto 67 MHz (the resonance) from the early generations.
+"""
+
+import numpy as np
+
+from repro.instruments.spectrum_analyzer import watts_to_dbm
+
+from benchmarks.conftest import print_header
+
+
+def test_fig7_ga_convergence(benchmark, juno_board, a72_em_virus):
+    summary = benchmark.pedantic(
+        lambda: a72_em_virus, rounds=1, iterations=1
+    )
+    print_header(
+        "Fig. 7: EM-driven GA on Cortex-A72 "
+        f"({summary.generations} generations)"
+    )
+    print(
+        f"{'gen':>4} {'EM amplitude':>14} {'droop':>10} "
+        f"{'dominant':>12}"
+    )
+    history = summary.ga_result.history
+    for rec in history[:: max(1, len(history) // 10)]:
+        dbm = float(watts_to_dbm(np.array(rec.best.score)))
+        print(
+            f"{rec.generation:>4} {dbm:>10.1f} dBm "
+            f"{rec.best.max_droop_v * 1e3:>7.1f} mV "
+            f"{rec.best.dominant_frequency_hz / 1e6:>9.1f} MHz"
+        )
+    scores = summary.ga_result.score_series()
+    droops = summary.ga_result.droop_series()
+    doms = summary.ga_result.dominant_frequency_series()
+
+    print(
+        f"  final: dominant {summary.dominant_frequency_hz / 1e6:.1f} MHz"
+        f" (paper: 67 MHz), droop {summary.max_droop_v * 1e3:.1f} mV"
+    )
+
+    # amplitude grows substantially over the run
+    assert scores[-1] > 2.0 * scores[0]
+    # droop tracks the EM metric (the central correlation claim)
+    assert np.corrcoef(scores, droops)[0, 1] > 0.6
+    assert droops[-1] > droops[0]
+    # dominant frequency converges onto the resonance and stays there
+    late = doms[len(doms) // 2:]
+    assert np.all(np.abs(late - 67e6) < 8e6)
+    assert abs(summary.dominant_frequency_hz - 67e6) < 6e6

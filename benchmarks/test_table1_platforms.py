@@ -1,0 +1,37 @@
+"""Table 1: experimental platform details.
+
+Checks that the modeled platforms match the paper's matrix and prints
+it in the paper's layout.
+"""
+
+import pytest
+
+from repro.platforms.base import NoiseVisibility
+from repro.platforms.registry import PLATFORM_TABLE, by_cpu, render_table
+
+from benchmarks.conftest import print_header
+
+
+def test_table1_platform_matrix(benchmark, juno_board, amd_desktop):
+    table = benchmark.pedantic(render_table, rounds=1, iterations=1)
+    print_header("Table 1: experimental platform details")
+    print(table)
+
+    # registry matches the paper
+    assert len(PLATFORM_TABLE) == 3
+    a72 = by_cpu("Cortex-A72")
+    a53 = by_cpu("Cortex-A53")
+    amd = by_cpu("Athlon II X4 645")
+    assert (a72.num_cores, a53.num_cores, amd.num_cores) == (2, 4, 4)
+    assert a72.visibility is NoiseVisibility.OC_DSO
+    assert a53.visibility is NoiseVisibility.NONE
+    assert amd.visibility is NoiseVisibility.KELVIN_PADS
+
+    # and the live platform models agree with the registry rows
+    assert juno_board.a72.spec.nominal_clock_hz == a72.nominal_clock_hz
+    assert juno_board.a72.spec.num_cores == a72.num_cores
+    assert juno_board.a53.spec.nominal_clock_hz == pytest.approx(
+        a53.nominal_clock_hz
+    )
+    assert amd_desktop.cpu.spec.nominal_voltage == amd.nominal_voltage
+    assert amd_desktop.cpu.spec.technology_nm == amd.technology_nm

@@ -1,0 +1,106 @@
+"""Table 2: cross-platform dI/dt virus comparison.
+
+Paper: all five viruses (a72OC-DSO, a72em, a53em, amdEm, amdOsc) use a
+50-instruction loop; ARM viruses have loop frequency well below their
+dominant frequency (the min-IPC argument of Section 8.2) while the AMD
+viruses have them equal; branches are essentially absent from the
+evolved mixes while every other instruction type appears.
+"""
+
+import numpy as np
+
+from repro.analysis.tables import VirusRow, render_virus_table
+from repro.cpu.isa import InstructionClass
+from repro.stability.failure import failure_model_for
+from repro.stability.vmin import VminTester
+from repro.workloads.base import ProgramWorkload
+
+from benchmarks.conftest import print_header
+
+
+def _margin(cluster, summary, step_v=0.010):
+    tester = VminTester(
+        cluster,
+        failure_model_for(cluster.name),
+        step_v=step_v,
+        seed=2,
+    )
+    result = tester.run(
+        ProgramWorkload(summary.virus.name, summary.virus, jitter_seed=None),
+        repeats=10,
+    )
+    return cluster.spec.nominal_voltage - result.vmin
+
+
+def test_table2_virus_comparison(
+    benchmark,
+    juno_board,
+    amd_desktop,
+    a72_em_virus,
+    a72_dso_virus,
+    a53_em_virus,
+    amd_em_virus,
+    amd_osc_virus,
+):
+    juno_board.a72.reset()
+    juno_board.a53.reset()
+    amd_desktop.cpu.reset()
+
+    def regenerate():
+        rows = []
+        for name, cluster, summary, step in (
+            ("a72OC-DSO", juno_board.a72, a72_dso_virus, 0.010),
+            ("a72em", juno_board.a72, a72_em_virus, 0.010),
+            ("a53em", juno_board.a53, a53_em_virus, 0.010),
+            ("amdEm", amd_desktop.cpu, amd_em_virus, 0.0125),
+            ("amdOsc", amd_desktop.cpu, amd_osc_virus, 0.0125),
+        ):
+            rows.append(
+                VirusRow(
+                    name=name,
+                    program=summary.virus,
+                    ipc=summary.ipc,
+                    loop_period_s=summary.loop_period_s,
+                    loop_frequency_hz=summary.loop_frequency_hz,
+                    dominant_frequency_hz=summary.dominant_frequency_hz,
+                    voltage_margin_v=_margin(cluster, summary, step),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+    print_header("Table 2: dI/dt virus comparison")
+    print(render_virus_table(rows))
+
+    by_name = {r.name: r for r in rows}
+    # all viruses are 50-instruction loops
+    assert all(len(r.program) == 50 for r in rows)
+
+    # Section 8.2: ARM viruses - loop frequency < dominant frequency
+    for name in ("a72OC-DSO", "a72em", "a53em"):
+        r = by_name[name]
+        assert r.loop_frequency_hz < 0.8 * r.dominant_frequency_hz
+    # AMD viruses - loop and dominant frequency coincide (low min-IPC)
+    for name in ("amdEm", "amdOsc"):
+        r = by_name[name]
+        ratio = r.dominant_frequency_hz / r.loop_frequency_hz
+        assert ratio < 1.2 or abs(ratio - round(ratio)) < 0.05
+
+    # ARM margins ~150 mV, AMD margins tens of mV
+    for name in ("a72OC-DSO", "a72em", "a53em"):
+        assert 0.08 <= by_name[name].voltage_margin_v <= 0.22
+    for name in ("amdEm", "amdOsc"):
+        assert by_name[name].voltage_margin_v <= 0.09
+
+    # instruction mixes: no (or almost no) branches, everything else used
+    for r in rows:
+        mix = r.mix()
+        assert mix.get(InstructionClass.BRANCH, 0.0) <= 0.06
+        used = sum(1 for v in mix.values() if v > 0.0)
+        assert used >= 4  # diverse mixes (Section 8.3)
+
+    # EM- and voltage-driven viruses on the same platform behave alike
+    assert abs(
+        by_name["a72em"].voltage_margin_v
+        - by_name["a72OC-DSO"].voltage_margin_v
+    ) <= 0.04

@@ -1,0 +1,133 @@
+#!/usr/bin/env python3
+"""Beyond stress testing: PDN fingerprinting applications (Section 10).
+
+The paper's conclusion sketches uses of on-the-fly PDN characterization
+beyond margin determination.  This example demonstrates two of them on
+the simulated Cortex-A72:
+
+1. **Tamper detection** — enroll a golden unit's resonance fingerprint,
+   then screen units: a board with a hardware implant (extra rail
+   capacitance) or a power-path interposer (extra inductance) drifts
+   the fingerprint and is flagged, all from antenna readings.
+2. **Margin prediction** — calibrate V_MIN against passive EM readings
+   on a handful of workloads, then predict the margin a new workload
+   needs *without undervolting the system*.
+
+Run:  python examples/pdn_fingerprinting.py
+"""
+
+import dataclasses
+
+import numpy as np
+
+from repro import EMCharacterizer, ResonanceSweep
+from repro.core.margin import EMMarginPredictor, MarginCalibrationPoint
+from repro.core.tamper import TamperDetector
+from repro.cpu.pipeline import OutOfOrderPipeline
+from repro.instruments.spectrum_analyzer import SpectrumAnalyzer
+from repro.pdn.models import scaled
+from repro.platforms import make_juno_board
+from repro.platforms.base import Cluster
+from repro.platforms.juno import A72_SPEC, A72_UNITS
+from repro.stability import VminTester, failure_model_for
+from repro.workloads import idle_workload, spec_suite
+
+CLOCKS = [1.2e9 - k * 20e6 for k in range(0, 54)]
+
+
+def build_unit(pdn_params=None) -> Cluster:
+    spec = A72_SPEC
+    if pdn_params is not None:
+        spec = dataclasses.replace(spec, pdn_params=pdn_params)
+    return Cluster(
+        spec,
+        OutOfOrderPipeline(
+            width=3, window=48, rob_size=128, unit_counts=A72_UNITS
+        ),
+    )
+
+
+def tamper_demo(characterizer: EMCharacterizer) -> None:
+    print("== Tamper detection by resonance fingerprint ==")
+    detector = TamperDetector(
+        ResonanceSweep(characterizer, samples_per_point=5),
+        tolerance=0.06,
+    )
+    golden = detector.enroll(build_unit(), clocks_hz=CLOCKS)
+    print(
+        "  golden fingerprint: "
+        + ", ".join(
+            f"{n}-core {f / 1e6:.1f} MHz"
+            for n, f in sorted(golden.resonances_hz.items())
+        )
+    )
+    units = {
+        "pristine unit": build_unit(),
+        "unit with implant (+40% rail C)": build_unit(
+            scaled(
+                A72_SPEC.pdn_params,
+                c_die_base=A72_SPEC.pdn_params.c_die_base * 1.4,
+                c_die_per_core=A72_SPEC.pdn_params.c_die_per_core * 1.4,
+            )
+        ),
+        "unit with interposer (2x L_pkg)": build_unit(
+            scaled(A72_SPEC.pdn_params, l_pkg=A72_SPEC.pdn_params.l_pkg * 2)
+        ),
+    }
+    for name, unit in units.items():
+        verdict = detector.check(unit, golden, clocks_hz=CLOCKS)
+        flag = "TAMPERED" if verdict.tampered else "clean"
+        print(
+            f"  {name:<34} drift "
+            f"{verdict.worst_drift_fraction * 100:5.1f}%  -> {flag}"
+        )
+
+
+def margin_demo(characterizer: EMCharacterizer) -> None:
+    print("\n== V_MIN prediction from passive EM readings ==")
+    juno = make_juno_board()
+    a72 = juno.a72
+    predictor = EMMarginPredictor(characterizer)
+    tester = VminTester(a72, failure_model_for("cortex-a72"), seed=31)
+
+    calibration = [idle_workload()] + spec_suite(
+        a72.spec.isa, ["gcc", "namd", "lbm", "hmmer"]
+    )
+    print("  calibrating on:", ", ".join(w.name for w in calibration))
+    points = []
+    for wl in calibration:
+        amp = predictor.measure_amplitude(a72, wl)
+        vmin = tester.run(wl, repeats=2).vmin
+        points.append(MarginCalibrationPoint(wl.name, amp, vmin))
+    predictor.fit(points)
+    print(
+        f"  fit residual: "
+        f"{predictor.calibration_residual_v() * 1e3:.1f} mV"
+    )
+
+    for name in ("mcf", "povray", "sphinx3"):
+        wl = spec_suite(a72.spec.isa, [name])[0]
+        prediction = predictor.predict_workload(a72, wl)
+        actual = tester.run(wl, repeats=2).vmin
+        print(
+            f"  {name:10s} predicted Vmin {prediction.predicted_vmin:.3f} V"
+            f" (measured {actual:.3f} V, "
+            f"error {abs(prediction.predicted_vmin - actual) * 1e3:.1f} mV)"
+        )
+    print(
+        "  -> margins estimated for new workloads with zero undervolting"
+        " experiments."
+    )
+
+
+def main() -> None:
+    characterizer = EMCharacterizer(
+        analyzer=SpectrumAnalyzer(rng=np.random.default_rng(13)),
+        samples=8,
+    )
+    tamper_demo(characterizer)
+    margin_demo(characterizer)
+
+
+if __name__ == "__main__":
+    main()

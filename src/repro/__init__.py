@@ -1,0 +1,59 @@
+"""repro: EM-driven CPU voltage-noise characterization.
+
+A from-scratch reproduction of *"Leveraging CPU Electromagnetic
+Emanations for Voltage Noise Characterization"* (MICRO 2018): a
+non-intrusive methodology that senses CPU EM emanations with an antenna
+and spectrum analyzer to (a) generate worst-case dI/dt stress tests
+with a genetic algorithm and (b) measure the power-delivery network's
+first-order resonance frequency.
+
+Hardware is replaced by physics-grounded simulators (see DESIGN.md):
+cycle-level CPU pipelines produce current traces, a linear RLC PDN
+produces rail waveforms, and a radiation/antenna/analyzer chain
+produces the EM spectrum the GA optimizes.
+
+Quickstart::
+
+    from repro import make_juno_board, EMCharacterizer, VirusGenerator
+    from repro.ga import GAConfig
+
+    juno = make_juno_board()
+    gen = VirusGenerator(juno.a72, EMCharacterizer(),
+                         config=GAConfig(population_size=50,
+                                         generations=60))
+    summary = gen.generate_em_virus()
+    print(summary.dominant_frequency_hz / 1e6, "MHz")
+"""
+
+from repro.core import (
+    EMCharacterizer,
+    EMMeasurement,
+    GARunSummary,
+    MultiDomainSpectrum,
+    ResonanceSweep,
+    VirusGenerator,
+)
+from repro.platforms import (
+    JunoBoard,
+    AMDDesktop,
+    make_amd_desktop,
+    make_juno_board,
+)
+from repro.ga import GAConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EMCharacterizer",
+    "EMMeasurement",
+    "GARunSummary",
+    "MultiDomainSpectrum",
+    "ResonanceSweep",
+    "VirusGenerator",
+    "JunoBoard",
+    "AMDDesktop",
+    "make_juno_board",
+    "make_amd_desktop",
+    "GAConfig",
+    "__version__",
+]

@@ -1,0 +1,26 @@
+"""Analysis utilities: metrics, spectra, and paper-style tables."""
+
+from repro.analysis.metrics import (
+    dominant_frequency,
+    max_droop,
+    peak_to_peak,
+    rms,
+    voltage_margin,
+)
+from repro.analysis.spectra import spectral_lines, spikes_agree
+from repro.analysis.report import CharacterizationReport, characterize
+from repro.analysis.tables import render_virus_table, VirusRow
+
+__all__ = [
+    "max_droop",
+    "peak_to_peak",
+    "rms",
+    "dominant_frequency",
+    "voltage_margin",
+    "spectral_lines",
+    "spikes_agree",
+    "render_virus_table",
+    "VirusRow",
+    "characterize",
+    "CharacterizationReport",
+]

@@ -1,0 +1,55 @@
+"""Waveform and margin metrics used throughout the evaluation."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def max_droop(voltages: np.ndarray, nominal: float) -> float:
+    """Largest dip below nominal, in volts."""
+    v = np.asarray(voltages, dtype=float)
+    if v.size == 0:
+        raise ValueError("empty waveform")
+    return float(nominal - v.min())
+
+
+def peak_to_peak(voltages: np.ndarray) -> float:
+    v = np.asarray(voltages, dtype=float)
+    if v.size == 0:
+        raise ValueError("empty waveform")
+    return float(v.max() - v.min())
+
+
+def rms(values: np.ndarray) -> float:
+    """Root mean square (the paper's 30-sample EM metric core)."""
+    v = np.asarray(values, dtype=float)
+    if v.size == 0:
+        raise ValueError("empty sample set")
+    return float(np.sqrt(np.mean(v * v)))
+
+
+def dominant_frequency(
+    samples: np.ndarray,
+    sample_rate_hz: float,
+    band: Optional[Tuple[float, float]] = None,
+) -> float:
+    """Frequency of the largest FFT bin of the AC component."""
+    v = np.asarray(samples, dtype=float)
+    if v.size < 4:
+        raise ValueError("waveform too short for FFT")
+    spectrum = np.abs(np.fft.rfft(v - v.mean()))
+    freqs = np.fft.rfftfreq(v.size, d=1.0 / sample_rate_hz)
+    mask = freqs > 0.0
+    if band is not None:
+        mask &= (freqs >= band[0]) & (freqs <= band[1])
+    idx = np.flatnonzero(mask)
+    if idx.size == 0:
+        raise ValueError("no FFT bins in requested band")
+    return float(freqs[idx[np.argmax(spectrum[idx])]])
+
+
+def voltage_margin(nominal_v: float, vmin: float) -> float:
+    """Table 2's voltage margin: nominal minus virus V_MIN."""
+    return nominal_v - vmin

@@ -1,0 +1,145 @@
+"""One-shot characterization reports.
+
+``characterize`` runs the paper's full methodology against one cluster
+-- impedance model, fast EM sweep per power-gating state, EM-driven GA
+virus, V_MIN ladder against reference workloads -- and renders a
+markdown report a lab would archive next to the virus binaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.characterizer import EMCharacterizer
+from repro.core.resonance import ResonanceSweep
+from repro.core.results import GARunSummary
+from repro.core.virusgen import VirusGenerator
+from repro.ga.engine import GAConfig
+from repro.platforms.base import Cluster
+from repro.stability.failure import FAILURE_PRESETS
+from repro.stability.vmin import VminResult, VminTester
+from repro.workloads.base import ProgramWorkload, Workload
+from repro.workloads.spec import SPEC_PROFILES, spec_suite
+from repro.workloads.stress import idle_workload
+
+
+@dataclass
+class CharacterizationReport:
+    """Everything the characterization run produced."""
+
+    cluster_name: str
+    resonances_hz: Dict[int, float]
+    virus: Optional[GARunSummary] = None
+    vmin_results: Dict[str, VminResult] = field(default_factory=dict)
+    nominal_voltage: float = 0.0
+    nominal_clock_hz: float = 0.0
+
+    def to_markdown(self) -> str:
+        lines = [
+            f"# PDN characterization: {self.cluster_name}",
+            "",
+            f"Nominal operating point: "
+            f"{self.nominal_clock_hz / 1e9:.2f} GHz, "
+            f"{self.nominal_voltage:g} V.",
+            "",
+            "## First-order resonance (fast EM sweep)",
+            "",
+            "| powered cores | resonance |",
+            "|---|---|",
+        ]
+        for cores in sorted(self.resonances_hz, reverse=True):
+            lines.append(
+                f"| {cores} | {self.resonances_hz[cores] / 1e6:.1f} MHz |"
+            )
+        if self.virus is not None:
+            v = self.virus
+            lines += [
+                "",
+                "## EM-driven dI/dt virus",
+                "",
+                f"- dominant frequency: "
+                f"{v.dominant_frequency_hz / 1e6:.1f} MHz",
+                f"- max droop at nominal: {v.max_droop_v * 1e3:.1f} mV",
+                f"- peak-to-peak noise: {v.peak_to_peak_v * 1e3:.1f} mV",
+                f"- IPC {v.ipc:.2f}, loop frequency "
+                f"{v.loop_frequency_hz / 1e6:.1f} MHz "
+                f"({len(v.virus)} instructions)",
+                f"- GA: {v.generations} generations, metric {v.metric}",
+            ]
+        if self.vmin_results:
+            lines += [
+                "",
+                "## V_MIN ladder",
+                "",
+                "| workload | V_MIN | margin |",
+                "|---|---|---|",
+            ]
+            for name, res in sorted(
+                self.vmin_results.items(), key=lambda kv: kv[1].vmin
+            ):
+                margin = self.nominal_voltage - res.vmin
+                lines.append(
+                    f"| {name} | {res.vmin:.4f} V | "
+                    f"{margin * 1e3:.1f} mV |"
+                )
+        lines.append("")
+        return "\n".join(lines)
+
+
+def characterize(
+    cluster: Cluster,
+    characterizer: Optional[EMCharacterizer] = None,
+    ga_config: Optional[GAConfig] = None,
+    vmin_workload_names: Sequence[str] = ("idle", "lbm", "gcc"),
+    run_vmin: bool = True,
+    seed: int = 0,
+) -> CharacterizationReport:
+    """Full characterization of one cluster, non-intrusively.
+
+    V_MIN requires a calibrated failure model; for clusters without one
+    (no :data:`FAILURE_PRESETS` entry) the ladder is skipped.
+    """
+    characterizer = characterizer or EMCharacterizer()
+    ga_config = ga_config or GAConfig(
+        population_size=30, generations=25, loop_length=50, seed=seed
+    )
+    report = CharacterizationReport(
+        cluster_name=cluster.name,
+        resonances_hz={},
+        nominal_voltage=cluster.spec.nominal_voltage,
+        nominal_clock_hz=cluster.spec.nominal_clock_hz,
+    )
+
+    sweep = ResonanceSweep(characterizer, samples_per_point=5)
+    for result in sweep.power_gating_study(cluster):
+        report.resonances_hz[result.powered_cores] = result.resonance_hz()
+
+    generator = VirusGenerator(cluster, characterizer, config=ga_config)
+    report.virus = generator.generate_em_virus()
+
+    if run_vmin and cluster.name in FAILURE_PRESETS:
+        tester = VminTester(
+            cluster, FAILURE_PRESETS[cluster.name], seed=seed
+        )
+        workloads: List[Workload] = []
+        spec_names = {p.name for p in SPEC_PROFILES}
+        for name in vmin_workload_names:
+            if name == "idle":
+                workloads.append(idle_workload())
+            elif name in spec_names:
+                workloads.extend(spec_suite(cluster.spec.isa, [name]))
+        workloads.append(
+            ProgramWorkload(
+                "em-virus", report.virus.virus, jitter_seed=None
+            )
+        )
+        report.vmin_results = tester.compare(
+            workloads,
+            virus_repeats=10,
+            benchmark_repeats=2,
+            virus_names=("em-virus",),
+        )
+    return report

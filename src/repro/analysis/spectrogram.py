@@ -1,0 +1,111 @@
+"""Time-frequency view of the EM band: spectrograms of workload phases.
+
+A spectrum analyzer in zero-span/max-hold use gives one amplitude per
+interval; for diagnosing *when* a system rings, labs plot a
+spectrogram.  :func:`em_spectrogram` renders a workload schedule as a
+(time x frequency) amplitude matrix through the full receive chain,
+and :func:`band_power_timeline` reduces it to the banded power trace
+the :class:`~repro.core.monitor.EmergencyMonitor` thresholds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.characterizer import EMCharacterizer
+from repro.platforms.base import Cluster
+from repro.workloads.base import Workload
+
+
+@dataclass
+class Spectrogram:
+    """Amplitude over (interval, frequency bin)."""
+
+    labels: List[str]
+    frequencies_hz: np.ndarray
+    power_dbm: np.ndarray  # shape (intervals, bins)
+
+    def interval(self, index: int) -> np.ndarray:
+        return self.power_dbm[index]
+
+    def peak_per_interval(self) -> List[Tuple[str, float, float]]:
+        """(label, peak frequency, peak dBm) for each interval."""
+        rows = []
+        for i, label in enumerate(self.labels):
+            idx = int(np.argmax(self.power_dbm[i]))
+            rows.append(
+                (
+                    label,
+                    float(self.frequencies_hz[idx]),
+                    float(self.power_dbm[i, idx]),
+                )
+            )
+        return rows
+
+    def to_ascii(self, width: int = 64, floor_dbm: float = -95.0) -> str:
+        """Terminal heat map: one row per interval."""
+        chars = " .:-=+*#%@"
+        lines = []
+        n = self.frequencies_hz.size
+        width = min(width, n)
+        edges = np.linspace(0, n, width + 1).astype(int)
+        top = float(self.power_dbm.max())
+        span = max(1e-9, top - floor_dbm)
+        for label, row in zip(self.labels, self.power_dbm):
+            # Max-aggregate per column so narrow spectral lines survive
+            # the downsampling (a virus line is one RBW bin wide).
+            cells = np.array(
+                [row[a:b].max() for a, b in zip(edges[:-1], edges[1:])]
+            )
+            scaled = np.clip(
+                (cells - floor_dbm) / span * (len(chars) - 1),
+                0,
+                len(chars) - 1,
+            ).astype(int)
+            lines.append(
+                f"{label[:14]:<14} |"
+                + "".join(chars[c] for c in scaled)
+                + "|"
+            )
+        return "\n".join(lines)
+
+
+def em_spectrogram(
+    characterizer: EMCharacterizer,
+    cluster: Cluster,
+    schedule: Sequence[Workload],
+) -> Spectrogram:
+    """One spectrum-analyzer sweep per workload interval."""
+    if not schedule:
+        raise ValueError("schedule must contain at least one workload")
+    labels: List[str] = []
+    rows: List[np.ndarray] = []
+    freqs: Optional[np.ndarray] = None
+    for workload in schedule:
+        run = workload.run(cluster)
+        emission = characterizer.radiator.emission(run.response)
+        trace = characterizer.analyzer.sweep(emission)
+        labels.append(workload.name)
+        rows.append(trace.power_dbm)
+        freqs = trace.frequencies_hz
+    return Spectrogram(
+        labels=labels,
+        frequencies_hz=freqs,
+        power_dbm=np.vstack(rows),
+    )
+
+
+def band_power_timeline(
+    spectrogram: Spectrogram,
+    band: Tuple[float, float],
+) -> np.ndarray:
+    """Per-interval maximum dBm inside ``band``."""
+    mask = (spectrogram.frequencies_hz >= band[0]) & (
+        spectrogram.frequencies_hz <= band[1]
+    )
+    if not mask.any():
+        raise ValueError(f"no spectrogram bins inside band {band}")
+    return spectrogram.power_dbm[:, mask].max(axis=1)

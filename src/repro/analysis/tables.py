@@ -1,0 +1,70 @@
+"""Paper-style table rendering (Table 2: virus comparison)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.cpu.isa import InstructionClass
+from repro.cpu.program import LoopProgram
+
+_MIX_COLUMNS = (
+    (InstructionClass.BRANCH, "Branch"),
+    (InstructionClass.INT_SHORT, "SLintR"),
+    (InstructionClass.INT_LONG, "LLintR"),
+    (InstructionClass.INT_SHORT_MEM, "SLintM"),
+    (InstructionClass.INT_LONG_MEM, "LLintM"),
+    (InstructionClass.FLOAT, "Float"),
+    (InstructionClass.SIMD, "SIMD"),
+    (InstructionClass.MEM, "MEM"),
+)
+
+
+@dataclass
+class VirusRow:
+    """One row of Table 2."""
+
+    name: str
+    program: LoopProgram
+    ipc: float
+    loop_period_s: float
+    loop_frequency_hz: float
+    dominant_frequency_hz: float
+    voltage_margin_v: float
+
+    def mix(self) -> Dict[InstructionClass, float]:
+        return self.program.instruction_mix()
+
+
+def render_virus_table(rows: Sequence[VirusRow]) -> str:
+    """Render virus-comparison rows in the paper's Table 2 layout."""
+    headers = [
+        "Virus",
+        "Instrs",
+        "IPC",
+        "Period(ns)",
+        "LoopF(MHz)",
+        "DomF(MHz)",
+        "Margin(mV)",
+    ] + [label for _, label in _MIX_COLUMNS]
+    table: List[List[str]] = [headers]
+    for row in rows:
+        mix = row.mix()
+        table.append(
+            [
+                row.name,
+                str(len(row.program)),
+                f"{row.ipc:.2f}",
+                f"{row.loop_period_s * 1e9:.2f}",
+                f"{row.loop_frequency_hz / 1e6:.2f}",
+                f"{row.dominant_frequency_hz / 1e6:.2f}",
+                f"{row.voltage_margin_v * 1e3:.1f}",
+            ]
+            + [f"{mix.get(cls, 0.0) * 100:.0f}%" for cls, _ in _MIX_COLUMNS]
+        )
+    widths = [max(len(r[i]) for r in table) for i in range(len(headers))]
+    lines = [
+        "  ".join(cell.rjust(w) for cell, w in zip(r, widths)) for r in table
+    ]
+    lines.insert(1, "-" * len(lines[0]))
+    return "\n".join(lines)

@@ -1,0 +1,285 @@
+"""Command-line interface: characterize simulated platforms from a shell.
+
+Subcommands mirror the paper's workflow::
+
+    python -m repro table1
+    python -m repro impedance --platform a72
+    python -m repro sweep --platform a53 --cores 1
+    python -m repro virus --platform a72 --generations 40 --out viruses/
+    python -m repro vmin --platform a72 --workloads lbm,gcc,idle \
+        --virus viruses/cortex-a72-em-amplitude.meta.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+import numpy as np
+
+from repro.core.characterizer import EMCharacterizer
+from repro.core.resonance import ResonanceSweep
+from repro.core.virusgen import VirusGenerator
+from repro.ga.engine import GAConfig
+from repro.instruments.spectrum_analyzer import (
+    SpectrumAnalyzer,
+    watts_to_dbm,
+)
+from repro.platforms import (
+    make_amd_desktop,
+    make_gpu_card,
+    make_juno_board,
+)
+from repro.platforms.base import Cluster
+
+PLATFORM_CHOICES = ("a72", "a53", "amd", "gpu")
+
+
+def resolve_cluster(name: str) -> Cluster:
+    """Build the named platform's cluster at its nominal state."""
+    if name == "a72":
+        return make_juno_board().a72
+    if name == "a53":
+        return make_juno_board().a53
+    if name == "amd":
+        return make_amd_desktop().cpu
+    if name == "gpu":
+        return make_gpu_card().gpu
+    raise ValueError(f"unknown platform {name!r}")
+
+
+def make_characterizer(seed: int) -> EMCharacterizer:
+    return EMCharacterizer(
+        analyzer=SpectrumAnalyzer(rng=np.random.default_rng(seed)),
+        samples=10,
+    )
+
+
+# ---------------------------------------------------------------------------
+def cmd_table1(args) -> int:
+    from repro.platforms.registry import render_table
+
+    print(render_table())
+    return 0
+
+
+def cmd_impedance(args) -> int:
+    cluster = resolve_cluster(args.platform)
+    cores = args.cores or cluster.spec.num_cores
+    model = cluster.pdn
+    freqs = np.logspace(4, 8.7, args.points)
+    analysis = model.impedance_analysis(freqs, cores)
+    mag = analysis.impedance_magnitude("die")
+    print(f"# {cluster.name}, {cores} powered cores")
+    print(f"# {'frequency_hz':>14} {'z_mohm':>10}")
+    for f, z in zip(freqs, mag):
+        print(f"{f:>16.1f} {z * 1e3:>10.4f}")
+    peak = analysis.peak_frequency_hz("die", (50e6, 200e6))
+    print(f"# first-order resonance: {peak / 1e6:.1f} MHz")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    cluster = resolve_cluster(args.platform)
+    if args.cores:
+        cluster.power_gate(args.cores)
+    sweep = ResonanceSweep(
+        make_characterizer(args.seed), samples_per_point=args.samples
+    )
+    result = sweep.run(cluster, active_cores=1 if args.cores else None)
+    print(f"# {cluster.name}, {cluster.powered_cores} powered cores")
+    print(f"# {'loop_freq_hz':>14} {'amplitude_dbm':>14}")
+    for point in sorted(result.points, key=lambda p: p.loop_frequency_hz):
+        dbm = float(watts_to_dbm(np.array(point.amplitude_w)))
+        print(f"{point.loop_frequency_hz:>16.1f} {dbm:>14.2f}")
+    print(
+        f"# first-order resonance: {result.resonance_hz() / 1e6:.1f} MHz"
+    )
+    return 0
+
+
+def cmd_virus(args) -> int:
+    cluster = resolve_cluster(args.platform)
+    config = GAConfig(
+        population_size=args.population,
+        generations=args.generations,
+        loop_length=args.loop_length,
+        mutation_rate=args.mutation_rate,
+        seed=args.seed,
+    )
+    generator = VirusGenerator(
+        cluster, make_characterizer(args.seed), config=config
+    )
+
+    def progress(record):
+        dbm = float(watts_to_dbm(np.array(record.best.score)))
+        print(
+            f"gen {record.generation:3d}: {dbm:6.1f} dBm, dominant "
+            f"{record.best.dominant_frequency_hz / 1e6:5.1f} MHz",
+            file=sys.stderr,
+        )
+
+    summary = generator.generate_em_virus(progress=progress)
+    print(
+        f"# virus for {cluster.name}: dominant "
+        f"{summary.dominant_frequency_hz / 1e6:.1f} MHz, droop "
+        f"{summary.max_droop_v * 1e3:.1f} mV, IPC {summary.ipc:.2f}"
+    )
+    if args.out:
+        from repro.io.serialization import save_virus_archive
+
+        meta = save_virus_archive(summary, args.out)
+        print(f"# archived to {meta}")
+    else:
+        print(summary.virus.assembly())
+    return 0
+
+
+def cmd_vmin(args) -> int:
+    from repro.stability.failure import failure_model_for
+    from repro.stability.vmin import VminTester
+    from repro.workloads.base import ProgramWorkload
+    from repro.workloads.spec import SPEC_PROFILES, spec_workload
+    from repro.workloads.stress import idle_workload
+
+    cluster = resolve_cluster(args.platform)
+    tester = VminTester(
+        cluster,
+        failure_model_for(cluster.name),
+        step_v=args.step,
+        seed=args.seed,
+    )
+    workloads = []
+    spec_names = {p.name for p in SPEC_PROFILES}
+    for name in args.workloads.split(","):
+        name = name.strip()
+        if not name:
+            continue
+        if name == "idle":
+            workloads.append(idle_workload())
+        elif name in spec_names:
+            workloads.append(spec_workload(cluster.spec.isa, name))
+        else:
+            print(f"error: unknown workload {name!r}", file=sys.stderr)
+            return 2
+    virus_names = ()
+    if args.virus:
+        from repro.io.serialization import load_virus_archive
+
+        program, metadata = load_virus_archive(args.virus)
+        workloads.append(
+            ProgramWorkload("virus", program, jitter_seed=None)
+        )
+        virus_names = ("virus",)
+
+    results = tester.compare(
+        workloads,
+        virus_repeats=args.virus_repeats,
+        benchmark_repeats=args.repeats,
+        virus_names=virus_names,
+    )
+    nominal = cluster.spec.nominal_voltage
+    print(f"# {cluster.name} at {cluster.clock_hz / 1e6:.0f} MHz")
+    print(f"# {'workload':<14} {'vmin_v':>8} {'margin_mv':>10}")
+    for name, res in sorted(results.items(), key=lambda kv: kv[1].vmin):
+        print(
+            f"{name:<16} {res.vmin:>8.4f} "
+            f"{(nominal - res.vmin) * 1e3:>10.1f}"
+        )
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.analysis.report import characterize
+    from repro.ga.engine import GAConfig
+
+    cluster = resolve_cluster(args.platform)
+    config = GAConfig(
+        population_size=args.population,
+        generations=args.generations,
+        loop_length=50,
+        seed=args.seed,
+    )
+    report = characterize(
+        cluster,
+        make_characterizer(args.seed),
+        ga_config=config,
+        run_vmin=not args.no_vmin,
+        seed=args.seed,
+    )
+    print(report.to_markdown())
+    return 0
+
+
+# ---------------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="EM-driven CPU voltage-noise characterization "
+        "(MICRO 2018 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="print the platform matrix")
+
+    p = sub.add_parser("impedance", help="PDN impedance seen by the die")
+    p.add_argument("--platform", choices=PLATFORM_CHOICES, required=True)
+    p.add_argument("--cores", type=int, default=None)
+    p.add_argument("--points", type=int, default=200)
+
+    p = sub.add_parser("sweep", help="fast EM resonance sweep")
+    p.add_argument("--platform", choices=PLATFORM_CHOICES, required=True)
+    p.add_argument("--cores", type=int, default=None,
+                   help="powered cores (1 active)")
+    p.add_argument("--samples", type=int, default=5)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("virus", help="EM-driven GA virus generation")
+    p.add_argument("--platform", choices=PLATFORM_CHOICES, required=True)
+    p.add_argument("--population", type=int, default=50)
+    p.add_argument("--generations", type=int, default=60)
+    p.add_argument("--loop-length", type=int, default=50)
+    p.add_argument("--mutation-rate", type=float, default=0.03)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default=None, help="archive directory")
+
+    p = sub.add_parser(
+        "report", help="full characterization report (markdown)"
+    )
+    p.add_argument("--platform", choices=PLATFORM_CHOICES, required=True)
+    p.add_argument("--population", type=int, default=30)
+    p.add_argument("--generations", type=int, default=25)
+    p.add_argument("--no-vmin", action="store_true")
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("vmin", help="progressive-undervolting V_MIN test")
+    p.add_argument("--platform", choices=PLATFORM_CHOICES, required=True)
+    p.add_argument("--workloads", default="idle",
+                   help="comma list: idle or SPEC names")
+    p.add_argument("--virus", default=None,
+                   help="path to a .meta.json virus archive")
+    p.add_argument("--step", type=float, default=0.010)
+    p.add_argument("--repeats", type=int, default=2)
+    p.add_argument("--virus-repeats", type=int, default=30)
+    p.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+_COMMANDS = {
+    "table1": cmd_table1,
+    "impedance": cmd_impedance,
+    "sweep": cmd_sweep,
+    "virus": cmd_virus,
+    "vmin": cmd_vmin,
+    "report": cmd_report,
+}
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,50 @@
+"""The paper's contribution: EM-driven PDN characterization.
+
+:class:`~repro.core.characterizer.EMCharacterizer` wires a platform's
+clusters to the antenna + spectrum analyzer receive chain and exposes
+the paper's four capabilities:
+
+1. monitor large-amplitude periodic voltage noise non-intrusively,
+2. generate dI/dt stress tests with an EM-amplitude-driven GA
+   (:class:`~repro.core.virusgen.VirusGenerator`),
+3. measure the first-order PDN resonance quickly with the
+   clock-modulated loop sweep (:mod:`repro.core.resonance`), and
+4. detect resonance shifts from power-gating and monitor several
+   voltage domains at once.
+"""
+
+from repro.core.characterizer import EMCharacterizer, EMMeasurement
+from repro.core.resonance import ResonanceSweep, SweepPoint, SweepResult
+from repro.core.virusgen import VirusGenerator
+from repro.core.results import GARunSummary, MultiDomainSpectrum
+from repro.core.margin import (
+    EMMarginPredictor,
+    MarginCalibrationPoint,
+    MarginPrediction,
+)
+from repro.core.tamper import (
+    ResonanceSignature,
+    TamperDetector,
+    TamperVerdict,
+)
+from repro.core.monitor import EmergencyMonitor, MonitorLog, MonitorSample
+
+__all__ = [
+    "EMCharacterizer",
+    "EMMeasurement",
+    "ResonanceSweep",
+    "SweepPoint",
+    "SweepResult",
+    "VirusGenerator",
+    "GARunSummary",
+    "MultiDomainSpectrum",
+    "EMMarginPredictor",
+    "MarginCalibrationPoint",
+    "MarginPrediction",
+    "ResonanceSignature",
+    "TamperDetector",
+    "TamperVerdict",
+    "EmergencyMonitor",
+    "MonitorLog",
+    "MonitorSample",
+]

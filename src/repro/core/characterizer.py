@@ -1,0 +1,141 @@
+"""EMCharacterizer: the antenna-side view of one or more clusters.
+
+The characterizer owns the receive chain (radiator model per domain,
+antenna, coupling, spectrum analyzer) and measures whatever the
+clusters are currently executing.  It is deliberately *one-way*: no
+electrical connection to the platform, only the radiated spectrum --
+the non-intrusiveness the paper claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cpu.program import LoopProgram
+from repro.core.results import MultiDomainSpectrum
+from repro.em.radiation import DieRadiator, EmissionSpectrum, combine_emissions
+from repro.instruments.spectrum_analyzer import SpectrumAnalyzer, SpectrumTrace
+from repro.platforms.base import Cluster, ClusterRun
+
+FIRST_ORDER_BAND = (50.0e6, 200.0e6)
+
+
+@dataclass
+class EMMeasurement:
+    """One EM measurement of a running program."""
+
+    amplitude_w: float
+    peak_frequency_hz: float
+    trace: SpectrumTrace
+    run: ClusterRun
+
+    @property
+    def loop_frequency_hz(self) -> float:
+        return self.run.loop_frequency_hz
+
+
+class EMCharacterizer:
+    """Non-intrusive PDN characterization through EM emanations."""
+
+    def __init__(
+        self,
+        analyzer: Optional[SpectrumAnalyzer] = None,
+        radiator: Optional[DieRadiator] = None,
+        band: Tuple[float, float] = FIRST_ORDER_BAND,
+        samples: int = 30,
+    ):
+        self.analyzer = analyzer or SpectrumAnalyzer()
+        self.radiator = radiator or DieRadiator()
+        self.band = band
+        self.samples = samples
+
+    # ------------------------------------------------------------------
+    def emission_of(self, run: ClusterRun) -> EmissionSpectrum:
+        """Radiated spectrum of one cluster's steady-state execution."""
+        return self.radiator.emission(run.response)
+
+    def measure(
+        self,
+        cluster: Cluster,
+        program: LoopProgram,
+        active_cores: Optional[int] = None,
+        samples: Optional[int] = None,
+    ) -> EMMeasurement:
+        """Run ``program`` and measure the banded EM amplitude."""
+        run = cluster.run(program, active_cores=active_cores)
+        emission = self.emission_of(run)
+        amplitude = self.analyzer.max_amplitude(
+            emission, band=self.band, samples=samples or self.samples
+        )
+        trace = self.analyzer.sweep(emission)
+        peak_freq, _ = trace.peak(self.band)
+        return EMMeasurement(
+            amplitude_w=amplitude,
+            peak_frequency_hz=peak_freq,
+            trace=trace,
+            run=run,
+        )
+
+    # ------------------------------------------------------------------
+    def monitor_domains(
+        self,
+        executions: Dict[str, ClusterRun],
+    ) -> MultiDomainSpectrum:
+        """Simultaneously observe several voltage domains (Fig. 15).
+
+        ``executions`` maps cluster name -> a steady-state run on that
+        cluster.  The antenna receives the superposition; each domain's
+        signature is located as the combined trace's peak nearest that
+        domain's strongest emission line.
+        """
+        emissions = {
+            name: self.emission_of(run) for name, run in executions.items()
+        }
+        combined = combine_emissions(emissions.values())
+        trace = self.analyzer.sweep(combined)
+        peaks: Dict[str, Tuple[float, float]] = {}
+        for name, emission in emissions.items():
+            banded = emission.band(*self.band)
+            f_line, _ = banded.peak()
+            if f_line <= 0.0:
+                continue
+            peaks[name] = (f_line, trace.power_at(f_line))
+        return MultiDomainSpectrum(trace=trace, domain_peaks=peaks)
+
+    # ------------------------------------------------------------------
+    def spectrum_vs_scope_fft(
+        self,
+        run: ClusterRun,
+        scope_capture,
+        spike_count: int = 4,
+    ) -> Dict[str, Sequence[Tuple[float, float]]]:
+        """Fig. 9's comparison data: SA spikes vs scope-FFT spikes.
+
+        Returns the top ``spike_count`` spectral lines from both
+        instruments so agreement can be checked line-by-line.
+        """
+        emission = self.emission_of(run)
+        trace = self.analyzer.sweep(emission)
+        sa_spikes = _top_spikes(
+            trace.frequencies_hz, trace.power_dbm, spike_count
+        )
+        freqs, amps = scope_capture.fft()
+        mask = (freqs >= self.band[0]) & (freqs <= self.band[1])
+        dso_spikes = _top_spikes(freqs[mask], amps[mask], spike_count)
+        return {"spectrum_analyzer": sa_spikes, "oc_dso_fft": dso_spikes}
+
+
+def _top_spikes(
+    freqs: np.ndarray, values: np.ndarray, count: int
+) -> Sequence[Tuple[float, float]]:
+    """The ``count`` strongest local maxima, strongest first."""
+    if freqs.size < 3:
+        return [(float(f), float(v)) for f, v in zip(freqs, values)]
+    interior = np.flatnonzero(
+        (values[1:-1] >= values[:-2]) & (values[1:-1] >= values[2:])
+    ) + 1
+    ranked = interior[np.argsort(values[interior])[::-1][:count]]
+    return [(float(freqs[i]), float(values[i])) for i in sorted(ranked)]

@@ -1,0 +1,130 @@
+"""EM-based voltage-margin prediction (the paper's future work (c)).
+
+Section 10 proposes *"voltage margin prediction based on EM emanations
+during conventional workload execution"*: instead of undervolting a
+production system to find each workload's V_MIN, listen to its EM
+signature while it runs at nominal voltage and predict how much margin
+it needs.
+
+The predictor is calibrated with a handful of (EM amplitude, measured
+V_MIN) pairs -- e.g. from a one-off characterization of a reference
+unit -- and then predicts V_MIN for unseen workloads from a single
+non-intrusive EM measurement.  The model is linear in the *amplitude*
+domain (square root of banded EM power): droop is proportional to the
+resonant current amplitude, which is what the antenna measures, so
+``V_MIN ~ a + b * sqrt(P_em)`` captures the physics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.characterizer import EMCharacterizer
+from repro.platforms.base import Cluster
+from repro.workloads.base import Workload
+
+
+@dataclass
+class MarginCalibrationPoint:
+    """One calibration observation."""
+
+    workload_name: str
+    em_amplitude_w: float
+    vmin: float
+
+
+@dataclass
+class MarginPrediction:
+    """Predicted stability point for one workload."""
+
+    workload_name: str
+    em_amplitude_w: float
+    predicted_vmin: float
+
+    def predicted_margin(self, nominal_voltage: float) -> float:
+        return nominal_voltage - self.predicted_vmin
+
+
+class EMMarginPredictor:
+    """Predict per-workload V_MIN from nominal-voltage EM readings."""
+
+    def __init__(self, characterizer: Optional[EMCharacterizer] = None):
+        self.characterizer = characterizer or EMCharacterizer()
+        self._coeffs: Optional[Tuple[float, float]] = None
+        self._points: List[MarginCalibrationPoint] = []
+
+    # ------------------------------------------------------------------
+    def measure_amplitude(
+        self, cluster: Cluster, workload: Workload
+    ) -> float:
+        """Banded EM amplitude of a workload running at nominal voltage.
+
+        Purely passive: the workload runs untouched, the antenna
+        listens.  Uses the analyzer's RMS-of-N metric on the emission
+        of the steady execution.
+        """
+        run = workload.run(cluster)
+        emission = self.characterizer.radiator.emission(run.response)
+        return self.characterizer.analyzer.max_amplitude(
+            emission,
+            band=self.characterizer.band,
+            samples=self.characterizer.samples,
+        )
+
+    # ------------------------------------------------------------------
+    def fit(
+        self, points: Sequence[MarginCalibrationPoint]
+    ) -> Tuple[float, float]:
+        """Least-squares fit of ``vmin = a + b * sqrt(amplitude)``."""
+        if len(points) < 2:
+            raise ValueError("need at least two calibration points")
+        self._points = list(points)
+        x = np.sqrt([p.em_amplitude_w for p in points])
+        y = np.array([p.vmin for p in points])
+        b, a = np.polyfit(x, y, 1)
+        self._coeffs = (float(a), float(b))
+        return self._coeffs
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._coeffs is not None
+
+    @property
+    def coefficients(self) -> Tuple[float, float]:
+        if self._coeffs is None:
+            raise RuntimeError("predictor is not fitted")
+        return self._coeffs
+
+    def calibration_residual_v(self) -> float:
+        """RMS V_MIN error over the calibration set."""
+        a, b = self.coefficients
+        errors = [
+            p.vmin - (a + b * np.sqrt(p.em_amplitude_w))
+            for p in self._points
+        ]
+        return float(np.sqrt(np.mean(np.square(errors))))
+
+    # ------------------------------------------------------------------
+    def predict(
+        self, workload_name: str, em_amplitude_w: float
+    ) -> MarginPrediction:
+        """V_MIN prediction from a single EM amplitude reading."""
+        a, b = self.coefficients
+        if em_amplitude_w < 0.0:
+            raise ValueError("EM amplitude must be non-negative")
+        vmin = a + b * float(np.sqrt(em_amplitude_w))
+        return MarginPrediction(
+            workload_name=workload_name,
+            em_amplitude_w=em_amplitude_w,
+            predicted_vmin=vmin,
+        )
+
+    def predict_workload(
+        self, cluster: Cluster, workload: Workload
+    ) -> MarginPrediction:
+        """Measure the workload's EM signature and predict its V_MIN."""
+        amplitude = self.measure_amplitude(cluster, workload)
+        return self.predict(workload.name, amplitude)

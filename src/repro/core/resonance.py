@@ -1,0 +1,137 @@
+"""Fast resonance-frequency detection (Section 5.3).
+
+A fixed high/low-current loop (eight ADDs, one DIV) radiates an EM
+spike at its loop frequency.  Sweeping the CPU clock modulates the
+loop frequency; the spike's amplitude is maximized when the loop
+frequency crosses the PDN's first-order resonance.  The whole sweep
+takes ~15 minutes on hardware versus many hours for a GA run, and
+is the tool that exposes the power-gating resonance shifts of
+Figs. 11, 13 and 16.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.characterizer import EMCharacterizer
+from repro.platforms.base import Cluster
+from repro.workloads.loops import high_low_program
+
+
+@dataclass
+class SweepPoint:
+    """One clock point of the sweep."""
+
+    clock_hz: float
+    loop_frequency_hz: float
+    amplitude_w: float
+
+
+@dataclass
+class SweepResult:
+    """Outcome of a clock-modulated loop-frequency sweep."""
+
+    cluster_name: str
+    powered_cores: int
+    points: List[SweepPoint]
+
+    def resonance_hz(self) -> float:
+        """Loop frequency with the maximum EM amplitude."""
+        best = max(self.points, key=lambda p: p.amplitude_w)
+        return best.loop_frequency_hz
+
+    def series(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(loop_frequencies_hz, amplitudes) sorted by frequency."""
+        pts = sorted(self.points, key=lambda p: p.loop_frequency_hz)
+        return (
+            np.array([p.loop_frequency_hz for p in pts]),
+            np.array([p.amplitude_w for p in pts]),
+        )
+
+
+class ResonanceSweep:
+    """Drives the fast sweep against a cluster through an EM receive chain."""
+
+    def __init__(
+        self,
+        characterizer: EMCharacterizer,
+        samples_per_point: int = 5,
+    ):
+        self.characterizer = characterizer
+        self.samples_per_point = samples_per_point
+
+    def run(
+        self,
+        cluster: Cluster,
+        clocks_hz: Optional[Sequence[float]] = None,
+        active_cores: Optional[int] = None,
+    ) -> SweepResult:
+        """Sweep the cluster clock and record the EM spike amplitude.
+
+        ``clocks_hz`` defaults to every multiplier-reachable point from
+        nominal down (the paper steps the A72 from 1.2 GHz to 120 MHz
+        in 20 MHz steps).  The cluster's clock is restored afterwards.
+        """
+        program = high_low_program(cluster.spec.isa)
+        clocks = (
+            list(clocks_hz)
+            if clocks_hz is not None
+            else list(cluster.spec.allowed_clocks_hz())
+        )
+        saved_clock = cluster.clock_hz
+        points: List[SweepPoint] = []
+        try:
+            for clock in clocks:
+                cluster.set_clock(clock)
+                measurement = self.characterizer.measure(
+                    cluster,
+                    program,
+                    active_cores=active_cores,
+                    samples=self.samples_per_point,
+                )
+                points.append(
+                    SweepPoint(
+                        clock_hz=clock,
+                        loop_frequency_hz=measurement.loop_frequency_hz,
+                        amplitude_w=measurement.amplitude_w,
+                    )
+                )
+        finally:
+            cluster.set_clock(saved_clock)
+        return SweepResult(
+            cluster_name=cluster.name,
+            powered_cores=cluster.powered_cores,
+            points=points,
+        )
+
+    def power_gating_study(
+        self,
+        cluster: Cluster,
+        core_counts: Optional[Sequence[int]] = None,
+        clocks_hz: Optional[Sequence[float]] = None,
+    ) -> List[SweepResult]:
+        """Sweep at several power-gating states (Figs. 8, 11, 13).
+
+        Only the first core stays active in every state, so the load
+        current is constant and amplitude differences isolate the PDN
+        capacitance change -- the Section 6 experiment.
+        """
+        counts = (
+            list(core_counts)
+            if core_counts is not None
+            else list(range(cluster.spec.num_cores, 0, -1))
+        )
+        saved = cluster.powered_cores
+        results = []
+        try:
+            for count in counts:
+                cluster.power_gate(count)
+                results.append(
+                    self.run(cluster, clocks_hz=clocks_hz, active_cores=1)
+                )
+        finally:
+            cluster.power_gate(saved)
+        return results

@@ -1,0 +1,67 @@
+"""Result containers for the characterization API."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.cpu.program import LoopProgram
+from repro.ga.engine import GAResult
+from repro.instruments.spectrum_analyzer import SpectrumTrace
+
+
+@dataclass
+class GARunSummary:
+    """A finished GA virus-generation run plus its headline numbers."""
+
+    cluster_name: str
+    metric: str
+    ga_result: GAResult
+    virus: LoopProgram
+    dominant_frequency_hz: float
+    max_droop_v: float
+    peak_to_peak_v: float
+    ipc: float
+    loop_frequency_hz: float
+    loop_period_s: float
+
+    @property
+    def generations(self) -> int:
+        return len(self.ga_result.history)
+
+    def convergence_table(self) -> List[Tuple[int, float, float, float]]:
+        """(generation, score, droop, dominant MHz) rows -- Fig. 7 data."""
+        return [
+            (
+                r.generation,
+                r.best.score,
+                r.best.max_droop_v,
+                r.best.dominant_frequency_hz / 1e6,
+            )
+            for r in self.ga_result.history
+        ]
+
+
+@dataclass
+class MultiDomainSpectrum:
+    """One spectrum-analyzer sweep covering several voltage domains.
+
+    ``domain_peaks`` maps cluster name -> (frequency, dBm) of that
+    domain's signature spike in the combined trace (Fig. 15).
+    """
+
+    trace: SpectrumTrace
+    domain_peaks: Dict[str, Tuple[float, float]] = field(
+        default_factory=dict
+    )
+
+    def visible_domains(self, floor_margin_db: float = 6.0) -> List[str]:
+        """Domains whose signature rises clearly above the noise floor."""
+        floor = float(np.median(self.trace.power_dbm))
+        return [
+            name
+            for name, (_, dbm) in self.domain_peaks.items()
+            if dbm > floor + floor_margin_db
+        ]

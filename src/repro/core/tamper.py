@@ -1,0 +1,116 @@
+"""PDN tamper detection via resonance-signature drift (Section 10 (a)).
+
+The paper suggests on-the-fly PDN characterization for tampering
+detection: hardware implants, interposers or swapped decoupling
+capacitors change the board's electrical signature, and the first-order
+resonance frequency is a sensitive, non-intrusively measurable
+fingerprint of it.
+
+:class:`ResonanceSignature` records the resonance per power-gating
+state on a known-good unit; :class:`TamperDetector` re-measures a unit
+under test with the fast EM sweep and flags frequency drift beyond the
+enrollment tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.resonance import ResonanceSweep
+from repro.platforms.base import Cluster
+
+
+@dataclass(frozen=True)
+class ResonanceSignature:
+    """Golden resonance fingerprint: powered cores -> frequency (Hz)."""
+
+    cluster_name: str
+    resonances_hz: Dict[int, float]
+
+    def states(self) -> Sequence[int]:
+        return tuple(sorted(self.resonances_hz))
+
+
+@dataclass
+class TamperVerdict:
+    """Outcome of one tamper check."""
+
+    tampered: bool
+    worst_drift_fraction: float
+    drifts: Dict[int, float]  # powered cores -> fractional drift
+
+    def __bool__(self) -> bool:
+        return self.tampered
+
+
+class TamperDetector:
+    """Enroll a golden unit, then screen units by resonance drift.
+
+    ``tolerance`` is the fractional frequency drift allowed before a
+    unit is flagged (the fast sweep's own granularity is a few percent,
+    so the default tolerance is set above that).
+    """
+
+    def __init__(
+        self,
+        sweep: ResonanceSweep,
+        tolerance: float = 0.06,
+        core_counts: Optional[Sequence[int]] = None,
+    ):
+        if tolerance <= 0.0:
+            raise ValueError("tolerance must be positive")
+        self.sweep = sweep
+        self.tolerance = tolerance
+        self.core_counts = core_counts
+
+    def _measure(
+        self, cluster: Cluster, clocks_hz: Optional[Sequence[float]]
+    ) -> Dict[int, float]:
+        counts = (
+            list(self.core_counts)
+            if self.core_counts is not None
+            else [cluster.spec.num_cores, 1]
+        )
+        results = self.sweep.power_gating_study(
+            cluster, core_counts=counts, clocks_hz=clocks_hz
+        )
+        return {r.powered_cores: r.resonance_hz() for r in results}
+
+    def enroll(
+        self,
+        cluster: Cluster,
+        clocks_hz: Optional[Sequence[float]] = None,
+    ) -> ResonanceSignature:
+        """Record the golden unit's resonance fingerprint."""
+        return ResonanceSignature(
+            cluster_name=cluster.name,
+            resonances_hz=self._measure(cluster, clocks_hz),
+        )
+
+    def check(
+        self,
+        cluster: Cluster,
+        signature: ResonanceSignature,
+        clocks_hz: Optional[Sequence[float]] = None,
+    ) -> TamperVerdict:
+        """Screen a unit against an enrolled signature."""
+        if cluster.name != signature.cluster_name:
+            raise ValueError(
+                f"signature is for {signature.cluster_name!r}, "
+                f"unit is {cluster.name!r}"
+            )
+        measured = self._measure(cluster, clocks_hz)
+        drifts: Dict[int, float] = {}
+        for state, golden in signature.resonances_hz.items():
+            if state not in measured:
+                continue
+            drifts[state] = abs(measured[state] - golden) / golden
+        worst = max(drifts.values()) if drifts else 0.0
+        return TamperVerdict(
+            tampered=worst > self.tolerance,
+            worst_drift_fraction=worst,
+            drifts=drifts,
+        )

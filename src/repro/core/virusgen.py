@@ -1,0 +1,176 @@
+"""VirusGenerator: GA-driven dI/dt stress-test generation.
+
+Binds the GA engine to a cluster through either the EM receive chain
+(the paper's contribution) or direct voltage feedback (the validation
+baseline available only on platforms with OC-DSO / Kelvin pads).  The
+orchestration follows Section 3.2's workstation/target split: each
+individual is compiled and launched on the target, measured from the
+workstation, then killed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Sequence, Tuple
+
+from repro.core.characterizer import EMCharacterizer, FIRST_ORDER_BAND
+from repro.core.results import GARunSummary
+from repro.cpu.isa import InstructionSpec
+from repro.cpu.program import LoopProgram
+from repro.ga.engine import GAConfig, GAEngine, GenerationRecord
+from repro.ga.fitness import (
+    EMAmplitudeFitness,
+    FitnessEvaluation,
+    MaxDroopFitness,
+    PeakToPeakFitness,
+)
+from repro.instruments.oscilloscope import Oscilloscope
+from repro.instruments.probes import DifferentialProbe
+from repro.platforms.base import Cluster, NoiseVisibility
+
+
+class VirusGenerator:
+    """Generates dI/dt viruses for a cluster."""
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        characterizer: Optional[EMCharacterizer] = None,
+        config: GAConfig = GAConfig(),
+        pool: Optional[Sequence[InstructionSpec]] = None,
+        active_cores: Optional[int] = None,
+    ):
+        self.cluster = cluster
+        self.characterizer = characterizer or EMCharacterizer()
+        self.config = config
+        self.pool = pool
+        self.active_cores = active_cores
+
+    # ------------------------------------------------------------------
+    def _run_ga(
+        self,
+        fitness: Callable[[LoopProgram], FitnessEvaluation],
+        metric: str,
+        progress: Optional[Callable[[GenerationRecord], None]],
+    ) -> GARunSummary:
+        engine = GAEngine(fitness, config=self.config, pool=self.pool)
+        result = engine.run(self.cluster.spec.isa, progress=progress)
+        best = result.best
+        # Re-measure the winning individual (the paper re-runs the best
+        # individuals after the search to collect voltage metrics).
+        run = self.cluster.run(
+            best.best_program, active_cores=self.active_cores
+        )
+        try:
+            dominant = run.response.dominant_frequency_hz(
+                self.characterizer.band
+            )
+        except ValueError:
+            dominant = 0.0
+        return GARunSummary(
+            cluster_name=self.cluster.name,
+            metric=metric,
+            ga_result=result,
+            virus=best.best_program,
+            dominant_frequency_hz=dominant,
+            max_droop_v=run.max_droop,
+            peak_to_peak_v=run.peak_to_peak,
+            ipc=run.ipc,
+            loop_frequency_hz=run.loop_frequency_hz,
+            loop_period_s=run.loop_period_s,
+        )
+
+    # ------------------------------------------------------------------
+    def narrowed_band_from_sweep(
+        self,
+        half_width_hz: float = 10.0e6,
+        clocks_hz: Optional[Sequence[float]] = None,
+        samples_per_point: int = 5,
+    ) -> Tuple[float, float]:
+        """Constrain the GA's measurement band around a quick sweep.
+
+        Section 5.3(b): the 15-minute fast sweep locates the resonance,
+        and the GA then only measures a narrow band around it --
+        cutting per-individual spectrum-analyzer time (and hence total
+        search time) by the span ratio.
+        """
+        from repro.core.resonance import ResonanceSweep
+
+        sweep = ResonanceSweep(
+            self.characterizer, samples_per_point=samples_per_point
+        )
+        result = sweep.run(
+            self.cluster, clocks_hz=clocks_hz,
+            active_cores=self.active_cores,
+        )
+        center = result.resonance_hz()
+        low, high = FIRST_ORDER_BAND
+        return (
+            max(center - half_width_hz, low),
+            min(center + half_width_hz, high),
+        )
+
+    def generate_em_virus(
+        self,
+        progress: Optional[Callable[[GenerationRecord], None]] = None,
+        band: Tuple[float, float] = FIRST_ORDER_BAND,
+        samples: Optional[int] = None,
+    ) -> GARunSummary:
+        """EM-amplitude-driven virus generation: works on ANY cluster.
+
+        This is the paper's headline capability -- no voltage
+        visibility required (the Cortex-A53 case).
+        """
+        fitness_fn = EMAmplitudeFitness(
+            analyzer=self.characterizer.analyzer,
+            radiator=self.characterizer.radiator,
+            band=band,
+            samples=samples or self.characterizer.samples,
+            active_cores=self.active_cores,
+        )
+        return self._run_ga(
+            lambda program: fitness_fn(self.cluster, program),
+            metric="em-amplitude",
+            progress=progress,
+        )
+
+    def generate_droop_virus(
+        self,
+        oscilloscope: Oscilloscope,
+        progress: Optional[Callable[[GenerationRecord], None]] = None,
+    ) -> GARunSummary:
+        """Voltage-feedback virus via the OC-DSO (a72OC-DSO baseline).
+
+        Requires OC-DSO visibility; raises on clusters without it.
+        """
+        if self.cluster.spec.visibility is not NoiseVisibility.OC_DSO:
+            raise ValueError(
+                f"{self.cluster.name} has no OC-DSO; use generate_em_virus"
+            )
+        fitness_fn = MaxDroopFitness(
+            oscilloscope=oscilloscope, active_cores=self.active_cores
+        )
+        return self._run_ga(
+            lambda program: fitness_fn(self.cluster, program),
+            metric="oc-dso-droop",
+            progress=progress,
+        )
+
+    def generate_oscilloscope_virus(
+        self,
+        probe: DifferentialProbe,
+        progress: Optional[Callable[[GenerationRecord], None]] = None,
+    ) -> GARunSummary:
+        """Voltage-feedback virus via Kelvin pads (amdOsc baseline)."""
+        if self.cluster.spec.visibility is not NoiseVisibility.KELVIN_PADS:
+            raise ValueError(
+                f"{self.cluster.name} has no Kelvin pads; "
+                "use generate_em_virus"
+            )
+        fitness_fn = PeakToPeakFitness(
+            probe=probe, active_cores=self.active_cores
+        )
+        return self._run_ga(
+            lambda program: fitness_fn(self.cluster, program),
+            metric="kelvin-peak-to-peak",
+            progress=progress,
+        )

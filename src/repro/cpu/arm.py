@@ -1,0 +1,98 @@
+"""ARMv8-like instruction table (Section 3.3's ARM pool).
+
+The pool deliberately spans the diversity the paper calls essential:
+short-latency integer (MOV/ADD/SUB/EOR), long-latency integer
+(MUL/SDIV), floating point including the long non-pipelined FDIV/FSQRT
+the viruses use for stalls (Section 8.3), SIMD equivalents, explicit
+loads/stores (always L1 hits) and unconditional dummy branches.
+
+Latencies and throughputs are representative of ARMv8 cores of the
+Juno era; energies are relative switching-charge units calibrated so a
+dual-issue ADD burst against a DIV shadow swings cluster current by the
+amperes needed to reproduce the paper's droop magnitudes.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.isa import (
+    ExecutionUnit,
+    InstructionClass,
+    InstructionSet,
+    InstructionSpec,
+    RegisterFile,
+)
+
+_U = ExecutionUnit
+_C = InstructionClass
+_R = RegisterFile
+
+
+def _spec(mnemonic, iclass, unit, latency, rt, energy, **kw) -> InstructionSpec:
+    return InstructionSpec(
+        mnemonic=mnemonic,
+        iclass=iclass,
+        unit=unit,
+        latency=latency,
+        recip_throughput=rt,
+        energy=energy,
+        **kw,
+    )
+
+
+ARM_SPECS = (
+    # --- short-latency integer --------------------------------------------
+    _spec("mov", _C.INT_SHORT, _U.ALU, 1, 1, 0.9, num_sources=1),
+    _spec("add", _C.INT_SHORT, _U.ALU, 1, 1, 1.0),
+    _spec("sub", _C.INT_SHORT, _U.ALU, 1, 1, 1.0),
+    _spec("eor", _C.INT_SHORT, _U.ALU, 1, 1, 1.1),
+    _spec("orr", _C.INT_SHORT, _U.ALU, 1, 1, 1.0),
+    # --- long-latency integer ---------------------------------------------
+    _spec("mul", _C.INT_LONG, _U.MUL, 4, 1, 2.2),
+    _spec("madd", _C.INT_LONG, _U.MUL, 4, 1, 2.6, num_sources=3),
+    _spec("sdiv", _C.INT_LONG, _U.DIV, 8, 8, 1.4),
+    _spec("udiv", _C.INT_LONG, _U.DIV, 8, 8, 1.3),
+    # --- floating point -----------------------------------------------------
+    _spec("fmov", _C.FLOAT, _U.FPU, 2, 1, 1.2, regfile=_R.FP, num_sources=1),
+    _spec("fadd", _C.FLOAT, _U.FPU, 3, 1, 1.8, regfile=_R.FP),
+    _spec("fmul", _C.FLOAT, _U.FPU, 4, 1, 2.4, regfile=_R.FP),
+    _spec("fdiv", _C.FLOAT, _U.FDIV, 18, 18, 1.8, regfile=_R.FP),
+    _spec("fsqrt", _C.FLOAT, _U.FDIV, 24, 24, 1.7, regfile=_R.FP, num_sources=1),
+    # --- SIMD ----------------------------------------------------------------
+    _spec("vadd", _C.SIMD, _U.SIMD, 3, 1, 2.8, regfile=_R.VEC),
+    _spec("vmul", _C.SIMD, _U.SIMD, 4, 1, 3.4, regfile=_R.VEC),
+    _spec("vfma", _C.SIMD, _U.SIMD, 4, 1, 3.8, regfile=_R.VEC, num_sources=3),
+    _spec("vsqrt", _C.SIMD, _U.FDIV, 28, 28, 2.0, regfile=_R.VEC, num_sources=1),
+    # --- memory (explicit load/store, always L1 hits) -----------------------
+    _spec(
+        "ldr", _C.MEM, _U.LSU, 3, 1, 2.0, num_sources=0, touches_memory=True
+    ),
+    _spec(
+        "str",
+        _C.MEM,
+        _U.LSU,
+        1,
+        1,
+        1.9,
+        num_sources=1,
+        has_dest=False,
+        touches_memory=True,
+    ),
+    # --- dummy unconditional branch to the next instruction -----------------
+    _spec(
+        "b.next",
+        _C.BRANCH,
+        _U.BRANCH,
+        1,
+        1,
+        0.6,
+        num_sources=0,
+        has_dest=False,
+    ),
+)
+
+ARM_ISA = InstructionSet(
+    name="armv8",
+    specs=ARM_SPECS,
+    registers={_R.INT: 16, _R.FP: 16, _R.VEC: 16},
+    memory_slots=64,
+)

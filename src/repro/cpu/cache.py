@@ -1,0 +1,62 @@
+"""Optional L1 cache model: the timing nondeterminism viruses avoid.
+
+Section 3.3 of the paper: *"We deliberately avoid cache misses due to
+the timing non-determinism introduced by them ... events such as cache
+misses ... result in significant jitter to the GA algorithm, which in
+turn impedes its convergence."*
+
+The main pipeline models assume every memory access hits L1 (the
+paper's production configuration: the template restricts addresses to a
+resident buffer).  This module supplies the counterfactual: a cache
+model where accesses beyond the L1-resident window miss with a large,
+*randomized* penalty.  Plugging it into the pipeline makes execution --
+and therefore the GA's fitness signal -- nondeterministic, which the
+ablation benchmark uses to reproduce the paper's design argument.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CacheModel:
+    """L1 hit/miss timing for abstract memory slot addresses.
+
+    Addresses below ``l1_slots`` always hit (the virus template's
+    resident buffer); higher addresses miss with penalty
+    ``miss_penalty ± penalty_jitter`` cycles, the jitter standing in
+    for DRAM bank/row state and prefetcher behaviour.
+    """
+
+    l1_slots: int = 64
+    miss_penalty: int = 60
+    penalty_jitter: int = 16
+
+    def __post_init__(self) -> None:
+        if self.l1_slots < 1:
+            raise ValueError("l1_slots must be >= 1")
+        if self.miss_penalty < 1:
+            raise ValueError("miss_penalty must be >= 1")
+        if not 0 <= self.penalty_jitter <= self.miss_penalty:
+            raise ValueError(
+                "penalty_jitter must be within [0, miss_penalty]"
+            )
+
+    def is_hit(self, address: int) -> bool:
+        return address < self.l1_slots
+
+    def extra_latency(
+        self, address: int, rng: np.random.Generator
+    ) -> int:
+        """Cycles added on top of the instruction's L1-hit latency."""
+        if self.is_hit(address):
+            return 0
+        jitter = (
+            int(rng.integers(-self.penalty_jitter, self.penalty_jitter + 1))
+            if self.penalty_jitter > 0
+            else 0
+        )
+        return self.miss_penalty + jitter

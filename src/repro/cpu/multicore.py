@@ -1,0 +1,192 @@
+"""Cluster-level execution: per-core traces summed onto one rail.
+
+The paper's viruses run one loop instance per active core.  The cores
+are not phase-locked in hardware, but the worst case -- and the state a
+resonating cluster settles into -- is alignment of the high-current
+phases, so aligned execution is the default; explicit per-core phase
+offsets are supported for studying misalignment.
+
+Power-gated cores contribute nothing here; their electrical effect
+(removing die capacitance) lives in :mod:`repro.pdn.models`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.cpu.current import CurrentModel
+from repro.cpu.pipeline import Pipeline, Schedule
+from repro.cpu.program import LoopProgram
+
+
+@dataclass
+class CoreModel:
+    """One CPU core: a pipeline model plus its electrical constants."""
+
+    pipeline: Pipeline
+    current_model: CurrentModel
+    clock_hz: float
+
+    def schedule(self, program: LoopProgram, iterations: int = 16) -> Schedule:
+        return self.pipeline.steady_schedule(program, iterations)
+
+    def current_trace(self, schedule: Schedule) -> np.ndarray:
+        return self.current_model.trace(schedule)
+
+
+@dataclass
+class ClusterExecution:
+    """Steady-state execution of one program across the active cores.
+
+    Attributes
+    ----------
+    schedule:
+        Per-core steady schedule (identical across cores: same binary).
+    load_current:
+        Combined per-cycle cluster current over one loop period.
+    clock_hz:
+        Core clock; one sample of ``load_current`` spans one cycle.
+    active_cores:
+        Number of cores executing the program.
+    """
+
+    schedule: Schedule
+    load_current: np.ndarray
+    clock_hz: float
+    active_cores: int
+    uncore_current_a: float
+
+    @property
+    def ipc(self) -> float:
+        return self.schedule.ipc
+
+    @property
+    def loop_cycles(self) -> int:
+        return self.schedule.cycles
+
+    @property
+    def loop_period_s(self) -> float:
+        return self.schedule.cycles / self.clock_hz
+
+    @property
+    def loop_frequency_hz(self) -> float:
+        return self.clock_hz / self.schedule.cycles
+
+    @property
+    def sample_rate_hz(self) -> float:
+        return self.clock_hz
+
+
+@dataclass
+class MixedClusterExecution:
+    """Steady-state execution of *different* programs per core.
+
+    The combined period is the least common multiple of the per-core
+    loop periods (capped -- see :func:`execute_mixed_on_cluster`), so
+    each core's trace tiles exactly and the composite stays periodic.
+    """
+
+    schedules: list
+    load_current: np.ndarray
+    clock_hz: float
+    uncore_current_a: float
+
+    @property
+    def active_cores(self) -> int:
+        return len(self.schedules)
+
+    @property
+    def period_cycles(self) -> int:
+        return int(self.load_current.size)
+
+    @property
+    def sample_rate_hz(self) -> float:
+        return self.clock_hz
+
+    def per_core_loop_frequencies_hz(self) -> list:
+        return [self.clock_hz / s.cycles for s in self.schedules]
+
+
+def _lcm_capped(values: Sequence[int], cap: int) -> int:
+    lcm = 1
+    for v in values:
+        lcm = lcm * v // np.gcd(lcm, v)
+        if lcm >= cap:
+            return cap
+    return lcm
+
+
+def execute_mixed_on_cluster(
+    core: CoreModel,
+    programs: Sequence[LoopProgram],
+    uncore_current_a: float = 0.1,
+    iterations: int = 16,
+    period_cap_cycles: int = 4096,
+) -> MixedClusterExecution:
+    """Run a different program on each active core (heterogeneous mix).
+
+    Real systems co-schedule unrelated workloads; a dI/dt virus rarely
+    owns every core.  Per-core traces are tiled to the least common
+    multiple of their periods so the composite is exactly periodic.
+    Pathological period combinations are capped at
+    ``period_cap_cycles`` (the tail cores then wrap mid-iteration --
+    a bounded approximation that only matters for metrology-grade
+    phase studies).
+    """
+    if not programs:
+        raise ValueError("need at least one program")
+    schedules = [
+        core.schedule(p, iterations=iterations) for p in programs
+    ]
+    traces = [core.current_trace(s) for s in schedules]
+    period = _lcm_capped([t.size for t in traces], period_cap_cycles)
+    combined = np.full(period, uncore_current_a, dtype=float)
+    for trace in traces:
+        reps = int(np.ceil(period / trace.size))
+        combined += np.tile(trace, reps)[:period]
+    return MixedClusterExecution(
+        schedules=schedules,
+        load_current=combined,
+        clock_hz=core.clock_hz,
+        uncore_current_a=uncore_current_a,
+    )
+
+
+def execute_on_cluster(
+    core: CoreModel,
+    program: LoopProgram,
+    active_cores: int,
+    phase_offsets: Optional[Sequence[int]] = None,
+    uncore_current_a: float = 0.1,
+    iterations: int = 16,
+) -> ClusterExecution:
+    """Run ``program`` on ``active_cores`` identical cores.
+
+    ``phase_offsets`` gives each core's start offset in cycles (default:
+    all aligned).  The combined trace is the sum of circularly-shifted
+    per-core traces plus a constant uncore draw.
+    """
+    if active_cores < 1:
+        raise ValueError("active_cores must be >= 1")
+    offsets = list(phase_offsets) if phase_offsets is not None else [0] * (
+        active_cores
+    )
+    if len(offsets) != active_cores:
+        raise ValueError("need one phase offset per active core")
+
+    schedule = core.schedule(program, iterations=iterations)
+    trace = core.current_trace(schedule)
+    combined = np.zeros_like(trace)
+    for off in offsets:
+        combined += np.roll(trace, off % len(trace))
+    combined += uncore_current_a
+    return ClusterExecution(
+        schedule=schedule,
+        load_current=combined,
+        clock_hz=core.clock_hz,
+        active_cores=active_cores,
+        uncore_current_a=uncore_current_a,
+    )

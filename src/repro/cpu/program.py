@@ -1,0 +1,149 @@
+"""Loop programs: the unit of work the GA evolves and CPUs execute.
+
+A :class:`LoopProgram` is a fixed-length loop body of concrete
+instructions (the paper uses 50) plus the implicit loop back-edge.  The
+surrounding template (pre-initialized registers, steering code) is
+abstracted away: registers are assumed initialized, and memory operands
+always hit L1 (Section 3.3 -- cache misses are deliberately avoided for
+determinism).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cpu.isa import (
+    Instruction,
+    InstructionClass,
+    InstructionSet,
+    InstructionSpec,
+    RegisterFile,
+)
+
+
+@dataclass(frozen=True)
+class LoopProgram:
+    """An instruction loop bound to the instruction set it draws from."""
+
+    isa: InstructionSet
+    body: Tuple[Instruction, ...]
+    name: str = "loop"
+
+    def __post_init__(self) -> None:
+        if not self.body:
+            raise ValueError("loop body must contain at least one instruction")
+        for i, instr in enumerate(self.body):
+            limit = self.isa.registers[instr.spec.regfile]
+            regs = list(instr.sources)
+            if instr.spec.has_dest:
+                regs.append(instr.dest)
+            for r in regs:
+                if not 0 <= r < limit:
+                    raise ValueError(
+                        f"instruction {i} ({instr.mnemonic}) uses register "
+                        f"{r} outside 0..{limit - 1}"
+                    )
+            if instr.spec.touches_memory and not (
+                0 <= instr.address < self.isa.memory_slots
+            ):
+                raise ValueError(
+                    f"instruction {i} ({instr.mnemonic}) uses memory slot "
+                    f"{instr.address} outside 0..{self.isa.memory_slots - 1}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.body)
+
+    def instruction_mix(self) -> Dict[InstructionClass, float]:
+        """Fraction of the loop body in each instruction class (Table 2)."""
+        counts = Counter(instr.spec.iclass for instr in self.body)
+        n = len(self.body)
+        return {cls: counts.get(cls, 0) / n for cls in InstructionClass}
+
+    def assembly(self) -> str:
+        """Readable assembly listing of the loop body."""
+        lines = [f"{self.name}:"]
+        lines.extend(f"    {instr.assembly()}" for instr in self.body)
+        lines.append(f"    b {self.name}")
+        return "\n".join(lines)
+
+    def genome(self) -> Tuple[Tuple, ...]:
+        """Hashable representation for fitness memoization."""
+        return tuple(
+            (i.mnemonic, i.dest, i.sources, i.address) for i in self.body
+        )
+
+
+def random_instruction(
+    spec: InstructionSpec,
+    isa: InstructionSet,
+    rng: np.random.Generator,
+) -> Instruction:
+    """Draw random (valid) operands for ``spec`` from the ISA's resources."""
+    n_regs = isa.registers[spec.regfile]
+    dest = int(rng.integers(n_regs)) if spec.has_dest else None
+    sources = tuple(int(rng.integers(n_regs)) for _ in range(spec.num_sources))
+    address = (
+        int(rng.integers(isa.memory_slots)) if spec.touches_memory else None
+    )
+    return Instruction(spec=spec, dest=dest, sources=sources, address=address)
+
+
+def random_program(
+    isa: InstructionSet,
+    length: int,
+    rng: np.random.Generator,
+    name: str = "random",
+    pool: Optional[Sequence[InstructionSpec]] = None,
+) -> LoopProgram:
+    """A uniformly random loop program (the GA's initial individuals)."""
+    specs = tuple(pool) if pool is not None else isa.specs
+    body = tuple(
+        random_instruction(specs[int(rng.integers(len(specs)))], isa, rng)
+        for _ in range(length)
+    )
+    return LoopProgram(isa=isa, body=body, name=name)
+
+
+def program_from_mnemonics(
+    isa: InstructionSet,
+    mnemonics: Sequence[str],
+    rng: Optional[np.random.Generator] = None,
+    name: str = "manual",
+) -> LoopProgram:
+    """Build a loop from mnemonics with simple sequential operand choice.
+
+    Operands default to a rotating register assignment (deterministic
+    when no ``rng`` is given), which is convenient for hand-written
+    loops like the high/low-current sweep loop of Section 5.3.
+    """
+    body = []
+    counters: Dict[RegisterFile, int] = {rf: 0 for rf in RegisterFile}
+    mem_counter = 0
+    for m in mnemonics:
+        spec = isa.spec(m)
+        n_regs = isa.registers[spec.regfile]
+        if rng is None:
+            base = counters[spec.regfile]
+            dest = base % n_regs if spec.has_dest else None
+            sources = tuple(
+                (base + 1 + k) % n_regs for k in range(spec.num_sources)
+            )
+            counters[spec.regfile] = (base + 1) % n_regs
+            address = (
+                mem_counter % isa.memory_slots if spec.touches_memory else None
+            )
+            if spec.touches_memory:
+                mem_counter += 1
+            body.append(
+                Instruction(
+                    spec=spec, dest=dest, sources=sources, address=address
+                )
+            )
+        else:
+            body.append(random_instruction(spec, isa, rng))
+    return LoopProgram(isa=isa, body=tuple(body), name=name)

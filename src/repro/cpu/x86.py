@@ -1,0 +1,130 @@
+"""x86-64-like instruction table (Section 3.3's x86 pool).
+
+Per the paper, the same mix-selection principles as ARM apply with two
+adjustments: x86 has no explicit load/store instructions, so memory
+traffic comes from integer instructions with memory address operands
+(classes ``INT_SHORT_MEM`` / ``INT_LONG_MEM``), and SIMD uses SSE2.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.isa import (
+    ExecutionUnit,
+    InstructionClass,
+    InstructionSet,
+    InstructionSpec,
+    RegisterFile,
+)
+
+_U = ExecutionUnit
+_C = InstructionClass
+_R = RegisterFile
+
+
+def _spec(mnemonic, iclass, unit, latency, rt, energy, **kw) -> InstructionSpec:
+    return InstructionSpec(
+        mnemonic=mnemonic,
+        iclass=iclass,
+        unit=unit,
+        latency=latency,
+        recip_throughput=rt,
+        energy=energy,
+        **kw,
+    )
+
+
+X86_SPECS = (
+    # --- short-latency integer, register forms -----------------------------
+    _spec("mov_rr", _C.INT_SHORT, _U.ALU, 1, 1, 0.9, num_sources=1),
+    _spec("add_rr", _C.INT_SHORT, _U.ALU, 1, 1, 1.0),
+    _spec("sub_rr", _C.INT_SHORT, _U.ALU, 1, 1, 1.0),
+    _spec("xor_rr", _C.INT_SHORT, _U.ALU, 1, 1, 1.1),
+    # --- long-latency integer, register forms ------------------------------
+    _spec("imul_rr", _C.INT_LONG, _U.MUL, 3, 1, 2.4),
+    _spec("idiv_rr", _C.INT_LONG, _U.DIV, 22, 22, 1.8),
+    # --- short-latency integer with memory operand (L1 hit) -----------------
+    _spec(
+        "add_rm",
+        _C.INT_SHORT_MEM,
+        _U.LSU,
+        4,
+        1,
+        2.6,
+        num_sources=1,
+        touches_memory=True,
+    ),
+    _spec(
+        "mov_rm",
+        _C.INT_SHORT_MEM,
+        _U.LSU,
+        3,
+        1,
+        2.2,
+        num_sources=0,
+        touches_memory=True,
+    ),
+    _spec(
+        "mov_mr",
+        _C.INT_SHORT_MEM,
+        _U.LSU,
+        1,
+        1,
+        2.1,
+        num_sources=1,
+        has_dest=False,
+        touches_memory=True,
+    ),
+    _spec(
+        "xor_rm",
+        _C.INT_SHORT_MEM,
+        _U.LSU,
+        4,
+        1,
+        2.7,
+        num_sources=1,
+        touches_memory=True,
+    ),
+    # --- long-latency integer with memory operand ---------------------------
+    _spec(
+        "imul_rm",
+        _C.INT_LONG_MEM,
+        _U.MUL,
+        6,
+        1,
+        3.0,
+        num_sources=1,
+        touches_memory=True,
+    ),
+    # --- x87/SSE scalar floating point --------------------------------------
+    _spec("addss", _C.FLOAT, _U.FPU, 3, 1, 1.9, regfile=_R.FP),
+    _spec("mulss", _C.FLOAT, _U.FPU, 4, 1, 2.5, regfile=_R.FP),
+    _spec("divss", _C.FLOAT, _U.FDIV, 20, 20, 1.8, regfile=_R.FP),
+    _spec(
+        "sqrtss", _C.FLOAT, _U.FDIV, 26, 26, 1.7, regfile=_R.FP, num_sources=1
+    ),
+    # --- SSE2 packed SIMD ----------------------------------------------------
+    _spec("addpd", _C.SIMD, _U.SIMD, 3, 1, 3.0, regfile=_R.VEC),
+    _spec("mulpd", _C.SIMD, _U.SIMD, 5, 1, 3.8, regfile=_R.VEC),
+    _spec("pmaddwd", _C.SIMD, _U.SIMD, 3, 1, 3.6, regfile=_R.VEC),
+    _spec(
+        "sqrtpd", _C.SIMD, _U.FDIV, 32, 32, 2.2, regfile=_R.VEC, num_sources=1
+    ),
+    # --- dummy unconditional branch ------------------------------------------
+    _spec(
+        "jmp_next",
+        _C.BRANCH,
+        _U.BRANCH,
+        1,
+        1,
+        0.6,
+        num_sources=0,
+        has_dest=False,
+    ),
+)
+
+X86_ISA = InstructionSet(
+    name="x86-64",
+    specs=X86_SPECS,
+    registers={_R.INT: 14, _R.FP: 8, _R.VEC: 16},
+    memory_slots=64,
+)

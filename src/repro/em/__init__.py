@@ -1,0 +1,29 @@
+"""Electromagnetic emanation model.
+
+Section 2.2 of the paper gives the physics this package implements: the
+die's interconnect acts as a distributed transmitting antenna whose
+radiated power at a frequency varies *quadratically* with the amplitude
+of the oscillatory feed current at that frequency (Hertzian-dipole
+radiation).  Because the PDN's first-order resonance maximizes the die
+current oscillation, the EM spectrum peaks exactly where on-chip
+voltage noise peaks -- the correlation the whole methodology rests on.
+
+- :mod:`repro.em.radiation` -- die current harmonics -> radiated field.
+- :mod:`repro.em.antenna` -- the square loop receiver, its |S11| and
+  frequency response (Fig. 6).
+- :mod:`repro.em.propagation` -- coupling vs antenna distance and the
+  ambient noise environment.
+"""
+
+from repro.em.radiation import EmissionSpectrum, DieRadiator, combine_emissions
+from repro.em.antenna import SquareLoopAntenna
+from repro.em.propagation import NearFieldCoupling, AmbientEnvironment
+
+__all__ = [
+    "EmissionSpectrum",
+    "DieRadiator",
+    "combine_emissions",
+    "SquareLoopAntenna",
+    "NearFieldCoupling",
+    "AmbientEnvironment",
+]

@@ -1,0 +1,222 @@
+"""The generational GA loop (Fig. 3's flow).
+
+Seed a random population, measure every individual, select parents by
+tournament, cross over, mutate, repeat.  Fitness evaluations are
+memoized on the individual's genome because converged populations
+contain many clones -- the same economy a real setup gets by caching
+measurement results per binary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cpu.isa import InstructionSpec
+from repro.cpu.program import LoopProgram, random_program
+from repro.ga.fitness import FitnessEvaluation
+from repro.ga.operators import (
+    mutate,
+    one_point_crossover,
+    tournament_selection,
+)
+
+
+@dataclass(frozen=True)
+class GAConfig:
+    """GA hyperparameters; defaults follow the paper's recipe."""
+
+    population_size: int = 50
+    generations: int = 60
+    loop_length: int = 50
+    mutation_rate: float = 0.03
+    tournament_size: int = 3
+    elitism: int = 1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.population_size < 2:
+            raise ValueError("population_size must be >= 2")
+        if self.generations < 1:
+            raise ValueError("generations must be >= 1")
+        if self.loop_length < 1:
+            raise ValueError("loop_length must be >= 1")
+        if not 0.0 <= self.mutation_rate <= 1.0:
+            raise ValueError("mutation_rate must be in [0, 1]")
+        if not 0 <= self.elitism < self.population_size:
+            raise ValueError("elitism must be < population_size")
+
+
+@dataclass
+class GenerationRecord:
+    """Best-individual summary of one generation (the Fig. 7 series)."""
+
+    generation: int
+    best_program: LoopProgram
+    best: FitnessEvaluation
+    mean_score: float
+
+
+@dataclass
+class GAResult:
+    """Outcome of a GA run."""
+
+    config: GAConfig
+    history: List[GenerationRecord]
+    evaluations: int
+
+    @property
+    def best(self) -> GenerationRecord:
+        return max(self.history, key=lambda r: r.best.score)
+
+    @property
+    def best_program(self) -> LoopProgram:
+        return self.best.best_program
+
+    def score_series(self) -> np.ndarray:
+        return np.array([r.best.score for r in self.history])
+
+    def droop_series(self) -> np.ndarray:
+        return np.array([r.best.max_droop_v for r in self.history])
+
+    def dominant_frequency_series(self) -> np.ndarray:
+        return np.array(
+            [r.best.dominant_frequency_hz for r in self.history]
+        )
+
+
+class GAEngine:
+    """Drives the optimization against a fitness callable.
+
+    ``fitness`` maps a :class:`LoopProgram` to a
+    :class:`FitnessEvaluation`; it encapsulates the whole measurement
+    chain (target execution plus instrument).
+    """
+
+    def __init__(
+        self,
+        fitness: Callable[[LoopProgram], FitnessEvaluation],
+        config: GAConfig = GAConfig(),
+        pool: Optional[Sequence[InstructionSpec]] = None,
+        memoize: bool = True,
+    ):
+        """``memoize=False`` disables the per-genome fitness cache --
+        required when the fitness signal is nondeterministic (e.g. the
+        cache-miss ablation), where re-measuring a clone legitimately
+        yields a different score."""
+        self._fitness = fitness
+        self.config = config
+        self._pool = tuple(pool) if pool is not None else None
+        self._memoize = memoize
+        self._cache: Dict[Tuple, FitnessEvaluation] = {}
+
+    @property
+    def cache_size(self) -> int:
+        return len(self._cache)
+
+    def _evaluate(self, program: LoopProgram) -> FitnessEvaluation:
+        if not self._memoize:
+            return self._fitness(program)
+        key = program.genome()
+        hit = self._cache.get(key)
+        if hit is None:
+            hit = self._fitness(program)
+            self._cache[key] = hit
+        return hit
+
+    def _initial_population(
+        self, isa, rng: np.random.Generator
+    ) -> List[LoopProgram]:
+        return [
+            random_program(
+                isa,
+                self.config.loop_length,
+                rng,
+                name=f"ind{i}",
+                pool=self._pool,
+            )
+            for i in range(self.config.population_size)
+        ]
+
+    def run(
+        self,
+        isa,
+        initial_population: Optional[Sequence[LoopProgram]] = None,
+        progress: Optional[Callable[[GenerationRecord], None]] = None,
+    ) -> GAResult:
+        """Run the full optimization and return per-generation history.
+
+        ``initial_population`` allows resuming from a previous run
+        (Section 3.1a); otherwise a fresh random seed population is
+        drawn.
+        """
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed)
+        if initial_population is not None:
+            population = list(initial_population)
+            if len(population) != cfg.population_size:
+                raise ValueError(
+                    "initial population size does not match config"
+                )
+        else:
+            population = self._initial_population(isa, rng)
+
+        history: List[GenerationRecord] = []
+        evaluations = 0
+        for gen in range(cfg.generations):
+            evals = []
+            for program in population:
+                cached = program.genome() in self._cache
+                evals.append(self._evaluate(program))
+                if not cached:
+                    evaluations += 1
+            scores = [e.score for e in evals]
+            best_idx = int(np.argmax(scores))
+            record = GenerationRecord(
+                generation=gen,
+                best_program=population[best_idx],
+                best=evals[best_idx],
+                mean_score=float(np.mean(scores)),
+            )
+            history.append(record)
+            if progress is not None:
+                progress(record)
+            if gen == cfg.generations - 1:
+                break
+            population = self._next_generation(
+                population, scores, rng, best_idx
+            )
+        return GAResult(config=cfg, history=history, evaluations=evaluations)
+
+    def _next_generation(
+        self,
+        population: Sequence[LoopProgram],
+        scores: Sequence[float],
+        rng: np.random.Generator,
+        best_idx: int,
+    ) -> List[LoopProgram]:
+        cfg = self.config
+        ranked = sorted(
+            range(len(population)), key=lambda i: scores[i], reverse=True
+        )
+        next_pop: List[LoopProgram] = [
+            population[i] for i in ranked[: cfg.elitism]
+        ]
+        while len(next_pop) < cfg.population_size:
+            parent_a = tournament_selection(
+                population, scores, rng, cfg.tournament_size
+            )
+            parent_b = tournament_selection(
+                population, scores, rng, cfg.tournament_size
+            )
+            child_a, child_b = one_point_crossover(parent_a, parent_b, rng)
+            next_pop.append(
+                mutate(child_a, rng, cfg.mutation_rate, self._pool)
+            )
+            if len(next_pop) < cfg.population_size:
+                next_pop.append(
+                    mutate(child_b, rng, cfg.mutation_rate, self._pool)
+                )
+        return next_pop

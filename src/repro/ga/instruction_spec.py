@@ -1,0 +1,141 @@
+"""XML instruction-pool specification (Section 3.2).
+
+The user describes which assembly instructions the GA may use -- and
+which registers and memory addresses they may touch -- in an XML input
+file.  Example:
+
+.. code-block:: xml
+
+    <instruction-pool isa="armv8">
+      <registers int="12" fp="8" vec="8"/>
+      <memory slots="32"/>
+      <instruction mnemonic="add"/>
+      <instruction mnemonic="mul"/>
+      <instruction mnemonic="fsqrt"/>
+    </instruction-pool>
+
+Parsing yields a restricted :class:`~repro.cpu.isa.InstructionSet`
+against a base ISA table (the mnemonics must exist there).
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import Dict, Optional, Union
+
+from repro.cpu.arm import ARM_ISA
+from repro.cpu.isa import InstructionSet, RegisterFile
+from repro.cpu.x86 import X86_ISA
+
+BASE_ISAS: Dict[str, InstructionSet] = {
+    "armv8": ARM_ISA,
+    "x86-64": X86_ISA,
+}
+
+
+class InstructionSpecError(Exception):
+    """Malformed instruction-pool XML."""
+
+
+def parse_instruction_pool(
+    xml_text: str, base: Optional[InstructionSet] = None
+) -> InstructionSet:
+    """Parse pool XML into a restricted instruction set."""
+    try:
+        root = ET.fromstring(xml_text)
+    except ET.ParseError as exc:
+        raise InstructionSpecError(f"invalid XML: {exc}") from exc
+    if root.tag != "instruction-pool":
+        raise InstructionSpecError(
+            f"expected <instruction-pool> root, got <{root.tag}>"
+        )
+
+    if base is None:
+        isa_name = root.get("isa")
+        if isa_name is None:
+            raise InstructionSpecError("missing isa= attribute on root")
+        try:
+            base = BASE_ISAS[isa_name]
+        except KeyError:
+            raise InstructionSpecError(
+                f"unknown base ISA {isa_name!r}; "
+                f"available: {sorted(BASE_ISAS)}"
+            ) from None
+
+    mnemonics = []
+    for node in root.findall("instruction"):
+        m = node.get("mnemonic")
+        if not m:
+            raise InstructionSpecError(
+                "<instruction> element missing mnemonic attribute"
+            )
+        mnemonics.append(m)
+    if not mnemonics:
+        raise InstructionSpecError("instruction pool is empty")
+
+    registers = dict(base.registers)
+    reg_node = root.find("registers")
+    if reg_node is not None:
+        for rf, attr in (
+            (RegisterFile.INT, "int"),
+            (RegisterFile.FP, "fp"),
+            (RegisterFile.VEC, "vec"),
+        ):
+            value = reg_node.get(attr)
+            if value is not None:
+                count = _positive_int(value, f"registers/{attr}")
+                registers[rf] = count
+
+    memory_slots = base.memory_slots
+    mem_node = root.find("memory")
+    if mem_node is not None:
+        slots = mem_node.get("slots")
+        if slots is not None:
+            memory_slots = _positive_int(slots, "memory/slots")
+
+    try:
+        specs = tuple(base.spec(m) for m in mnemonics)
+    except KeyError as exc:
+        raise InstructionSpecError(str(exc)) from exc
+    return InstructionSet(
+        name=f"{base.name}-pool",
+        specs=specs,
+        registers=registers,
+        memory_slots=memory_slots,
+    )
+
+
+def load_instruction_pool(
+    path: Union[str, "os.PathLike"], base: Optional[InstructionSet] = None
+) -> InstructionSet:
+    """Parse an instruction-pool XML file from disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_instruction_pool(handle.read(), base=base)
+
+
+def render_instruction_pool(isa: InstructionSet, base_name: str) -> str:
+    """Serialize an instruction set back to pool XML (round-trips)."""
+    root = ET.Element("instruction-pool", {"isa": base_name})
+    ET.SubElement(
+        root,
+        "registers",
+        {
+            "int": str(isa.registers[RegisterFile.INT]),
+            "fp": str(isa.registers[RegisterFile.FP]),
+            "vec": str(isa.registers[RegisterFile.VEC]),
+        },
+    )
+    ET.SubElement(root, "memory", {"slots": str(isa.memory_slots)})
+    for spec in isa.specs:
+        ET.SubElement(root, "instruction", {"mnemonic": spec.mnemonic})
+    return ET.tostring(root, encoding="unicode")
+
+
+def _positive_int(value: str, what: str) -> int:
+    try:
+        number = int(value)
+    except ValueError:
+        raise InstructionSpecError(f"{what} must be an integer") from None
+    if number < 1:
+        raise InstructionSpecError(f"{what} must be >= 1")
+    return number

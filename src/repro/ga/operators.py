@@ -1,0 +1,129 @@
+"""Evolutionary operators: tournament selection, crossover, mutation.
+
+The paper's empirically chosen operators (Section 3.1c): tournament
+parent selection, one-point crossover exchanging instructions between
+two parents, and a 2-4 % mutation rate where a mutation converts an
+instruction into another or rewrites one of its operands.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.cpu.isa import Instruction, InstructionSpec
+from repro.cpu.program import LoopProgram, random_instruction
+
+
+def tournament_selection(
+    population: Sequence[LoopProgram],
+    fitnesses: Sequence[float],
+    rng: np.random.Generator,
+    tournament_size: int = 3,
+) -> LoopProgram:
+    """Pick the fittest of ``tournament_size`` random contestants."""
+    if len(population) != len(fitnesses):
+        raise ValueError("population and fitnesses must align")
+    if not population:
+        raise ValueError("population is empty")
+    k = min(tournament_size, len(population))
+    contestants = rng.choice(len(population), size=k, replace=False)
+    winner = max(contestants, key=lambda i: fitnesses[i])
+    return population[int(winner)]
+
+
+def one_point_crossover(
+    parent_a: LoopProgram,
+    parent_b: LoopProgram,
+    rng: np.random.Generator,
+) -> Tuple[LoopProgram, LoopProgram]:
+    """Swap instruction tails at a random cut point."""
+    if len(parent_a) != len(parent_b):
+        raise ValueError("parents must have equal loop length")
+    if parent_a.isa is not parent_b.isa and (
+        parent_a.isa.name != parent_b.isa.name
+    ):
+        raise ValueError("parents must share an instruction set")
+    n = len(parent_a)
+    cut = int(rng.integers(1, n)) if n > 1 else 0
+    child_a = parent_a.body[:cut] + parent_b.body[cut:]
+    child_b = parent_b.body[:cut] + parent_a.body[cut:]
+    return (
+        LoopProgram(isa=parent_a.isa, body=child_a, name="child"),
+        LoopProgram(isa=parent_a.isa, body=child_b, name="child"),
+    )
+
+
+def _mutate_operand(
+    instr: Instruction,
+    program: LoopProgram,
+    rng: np.random.Generator,
+) -> Instruction:
+    """Rewrite one randomly chosen operand of ``instr``."""
+    spec = instr.spec
+    isa = program.isa
+    choices: List[str] = []
+    if spec.has_dest:
+        choices.append("dest")
+    choices.extend(f"src{i}" for i in range(spec.num_sources))
+    if spec.touches_memory:
+        choices.append("mem")
+    if not choices:
+        return random_instruction(spec, isa, rng)
+    pick = choices[int(rng.integers(len(choices)))]
+    n_regs = isa.registers[spec.regfile]
+    if pick == "dest":
+        return Instruction(
+            spec=spec,
+            dest=int(rng.integers(n_regs)),
+            sources=instr.sources,
+            address=instr.address,
+        )
+    if pick == "mem":
+        return Instruction(
+            spec=spec,
+            dest=instr.dest,
+            sources=instr.sources,
+            address=int(rng.integers(isa.memory_slots)),
+        )
+    idx = int(pick[3:])
+    sources = list(instr.sources)
+    sources[idx] = int(rng.integers(n_regs))
+    return Instruction(
+        spec=spec,
+        dest=instr.dest,
+        sources=tuple(sources),
+        address=instr.address,
+    )
+
+
+def mutate(
+    program: LoopProgram,
+    rng: np.random.Generator,
+    rate: float = 0.03,
+    pool: Optional[Sequence[InstructionSpec]] = None,
+) -> LoopProgram:
+    """Per-gene mutation: convert the instruction or one of its operands.
+
+    Each body position mutates independently with probability ``rate``;
+    half the mutations replace the instruction with a fresh random one
+    from ``pool`` (default: the full ISA), half rewrite an operand.
+    """
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError("mutation rate must be within [0, 1]")
+    specs = tuple(pool) if pool is not None else program.isa.specs
+    body = list(program.body)
+    changed = False
+    for i, instr in enumerate(body):
+        if rng.random() >= rate:
+            continue
+        changed = True
+        if rng.random() < 0.5:
+            new_spec = specs[int(rng.integers(len(specs)))]
+            body[i] = random_instruction(new_spec, program.isa, rng)
+        else:
+            body[i] = _mutate_operand(instr, program, rng)
+    if not changed:
+        return program
+    return LoopProgram(isa=program.isa, body=tuple(body), name=program.name)

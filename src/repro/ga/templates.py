@@ -1,0 +1,70 @@
+"""Loop-template rendering (Section 3.3).
+
+Individuals are loop bodies dropped into a user-specified template with
+pre-initialized registers.  This module renders the full assembly
+source a workstation would ship to the target: register initialization
+from deterministic seed values, the loop label, the evolved body and
+the back-edge.  The text form is also what gets archived alongside a
+generated virus.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.cpu.isa import RegisterFile
+from repro.cpu.program import LoopProgram
+
+_REG_PREFIX = {
+    RegisterFile.INT: "r",
+    RegisterFile.FP: "f",
+    RegisterFile.VEC: "v",
+}
+
+_INIT_VALUE = {
+    RegisterFile.INT: lambda i: str(0x1234 + 17 * i),
+    RegisterFile.FP: lambda i: f"{1.5 + 0.25 * i:.4f}",
+    RegisterFile.VEC: lambda i: f"{{{i}, {i + 1}, {i + 2}, {i + 3}}}",
+}
+
+
+def used_registers(program: LoopProgram) -> Dict[RegisterFile, List[int]]:
+    """Registers each file actually referenced by the loop body."""
+    used: Dict[RegisterFile, set] = {rf: set() for rf in RegisterFile}
+    for instr in program.body:
+        rf = instr.spec.regfile
+        if instr.spec.has_dest:
+            used[rf].add(instr.dest)
+        used[rf].update(instr.sources)
+    return {rf: sorted(regs) for rf, regs in used.items()}
+
+
+def render_individual_source(
+    program: LoopProgram, label: str = "virus_loop"
+) -> str:
+    """Full assembly-like source for one individual.
+
+    Layout: a data section reserving the L1-resident buffer, register
+    pre-initialization (every referenced register gets a deterministic
+    seed value so arithmetic never traps), the loop label, the body and
+    an unconditional back-edge.
+    """
+    lines = [
+        f"// auto-generated individual: {program.name}",
+        f"// isa: {program.isa.name}, loop length: {len(program)}",
+        ".data",
+        f"buffer: .skip {program.isa.memory_slots * 8}",
+        ".text",
+        ".global _start",
+        "_start:",
+    ]
+    for rf, regs in used_registers(program).items():
+        for reg in regs:
+            prefix = _REG_PREFIX[rf]
+            lines.append(
+                f"    init {prefix}{reg}, {_INIT_VALUE[rf](reg)}"
+            )
+    lines.append(f"{label}:")
+    lines.extend(f"    {instr.assembly()}" for instr in program.body)
+    lines.append(f"    b {label}")
+    return "\n".join(lines) + "\n"

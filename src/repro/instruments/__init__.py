@@ -1,0 +1,35 @@
+"""Measurement instrument models.
+
+Simulated stand-ins for the paper's bench equipment:
+
+- :mod:`repro.instruments.spectrum_analyzer` -- Agilent E4402B/N9332C
+  style swept analyzer (RBW bins, dBm, noise floor, 30-sample RMS
+  amplitude metric).
+- :mod:`repro.instruments.oscilloscope` -- the Juno OC-DSO (on-chip
+  power-supply monitor, 1.6 GHz sampling) and bench scopes on Kelvin
+  pads: sampling, quantization, record capture, FFT.
+- :mod:`repro.instruments.scl` -- the synthetic current load block that
+  injects square-wave current into the A72 PDN.
+- :mod:`repro.instruments.probes` -- differential probe on on-package
+  Kelvin measurement points.
+- :mod:`repro.instruments.visa` -- a SCPI-ish instrument facade so the
+  control flow mirrors a real pyvisa workstation setup.
+"""
+
+from repro.instruments.spectrum_analyzer import SpectrumAnalyzer, SpectrumTrace
+from repro.instruments.oscilloscope import Oscilloscope, ScopeCapture
+from repro.instruments.scl import SyntheticCurrentLoad, SCLSweepResult
+from repro.instruments.probes import DifferentialProbe
+from repro.instruments.visa import ScpiInstrument, SimulatedResourceManager
+
+__all__ = [
+    "SpectrumAnalyzer",
+    "SpectrumTrace",
+    "Oscilloscope",
+    "ScopeCapture",
+    "SyntheticCurrentLoad",
+    "SCLSweepResult",
+    "DifferentialProbe",
+    "ScpiInstrument",
+    "SimulatedResourceManager",
+]

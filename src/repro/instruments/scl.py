@@ -1,0 +1,84 @@
+"""Synthetic current load (SCL) block.
+
+The Juno OC-DSO integrates a synthetic current load that draws a
+square-wave current from the Cortex-A72 rail at a programmable
+frequency; sweeping that frequency and recording the peak-to-peak rail
+oscillation reveals the PDN resonance (Fig. 8, following [16]).  The
+model injects the same square wave into the simulated PDN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.pdn.steady_state import PeriodicResponse, SteadyStateSolver
+
+
+def square_wave_current(
+    amplitude_a: float,
+    samples_per_period: int = 128,
+    duty: float = 0.5,
+    baseline_a: float = 0.0,
+) -> np.ndarray:
+    """One period of a square-wave load: high for ``duty`` of the period."""
+    if not 0.0 < duty < 1.0:
+        raise ValueError("duty cycle must be in (0, 1)")
+    if samples_per_period < 8:
+        raise ValueError("need at least 8 samples per period")
+    high = int(round(samples_per_period * duty))
+    wave = np.full(samples_per_period, baseline_a)
+    wave[:high] += amplitude_a
+    return wave
+
+
+@dataclass
+class SCLSweepResult:
+    """Outcome of a frequency sweep of the synthetic current load."""
+
+    frequencies_hz: np.ndarray
+    peak_to_peak_v: np.ndarray
+
+    def resonance_hz(self) -> float:
+        """Frequency with the highest rail oscillation."""
+        return float(
+            self.frequencies_hz[int(np.argmax(self.peak_to_peak_v))]
+        )
+
+    def rows(self) -> List[Tuple[float, float]]:
+        return list(zip(self.frequencies_hz, self.peak_to_peak_v))
+
+
+@dataclass
+class SyntheticCurrentLoad:
+    """Square-wave current injector attached to a PDN rail."""
+
+    amplitude_a: float = 1.0
+    samples_per_period: int = 128
+    duty: float = 0.5
+
+    def response_at(
+        self, solver: SteadyStateSolver, frequency_hz: float
+    ) -> PeriodicResponse:
+        """Steady-state rail response to the square wave at one frequency."""
+        if frequency_hz <= 0.0:
+            raise ValueError("SCL frequency must be positive")
+        wave = square_wave_current(
+            self.amplitude_a, self.samples_per_period, self.duty
+        )
+        sample_rate = frequency_hz * self.samples_per_period
+        return solver.solve(wave, sample_rate)
+
+    def sweep(
+        self,
+        solver: SteadyStateSolver,
+        frequencies_hz: Sequence[float],
+    ) -> SCLSweepResult:
+        """Peak-to-peak rail oscillation at each stimulus frequency."""
+        freqs = np.asarray(frequencies_hz, dtype=float)
+        p2p = np.empty_like(freqs)
+        for i, f in enumerate(freqs):
+            p2p[i] = self.response_at(solver, f).peak_to_peak
+        return SCLSweepResult(frequencies_hz=freqs, peak_to_peak_v=p2p)

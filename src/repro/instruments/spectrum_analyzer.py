@@ -1,0 +1,178 @@
+"""Swept spectrum analyzer model.
+
+Models the essentials the methodology depends on: a start/stop span
+divided into RBW-wide bins, emission lines landing in bins through a
+Gaussian resolution filter, a noise floor with sweep-to-sweep spread,
+power readout in dBm, peak markers, and the paper's fitness metric --
+the root-mean-square of the band maximum over 30 sweeps (Section 3.1b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.em.antenna import SquareLoopAntenna
+from repro.em.propagation import AmbientEnvironment, NearFieldCoupling
+from repro.em.radiation import EmissionSpectrum
+
+_PORT_OHMS = 50.0
+
+
+def watts_to_dbm(power_w: np.ndarray) -> np.ndarray:
+    """Convert watts to dBm, clamping to a -200 dBm floor."""
+    return 10.0 * np.log10(np.maximum(power_w, 1e-23) / 1.0e-3)
+
+
+def dbm_to_watts(dbm: float) -> float:
+    return 1.0e-3 * 10.0 ** (dbm / 10.0)
+
+
+@dataclass
+class SpectrumTrace:
+    """One displayed sweep: bin centers and per-bin power."""
+
+    frequencies_hz: np.ndarray
+    power_dbm: np.ndarray
+
+    def peak(
+        self, band: Optional[Sequence[float]] = None
+    ) -> Tuple[float, float]:
+        """(frequency_hz, dbm) of the peak marker, optionally banded."""
+        freqs, dbm = self.frequencies_hz, self.power_dbm
+        if band is not None:
+            mask = (freqs >= band[0]) & (freqs <= band[1])
+            if not mask.any():
+                raise ValueError(f"no bins inside band {band}")
+            freqs, dbm = freqs[mask], dbm[mask]
+        idx = int(np.argmax(dbm))
+        return float(freqs[idx]), float(dbm[idx])
+
+    def power_at(self, frequency_hz: float) -> float:
+        """Displayed power (dBm) of the bin containing ``frequency_hz``."""
+        idx = int(np.argmin(np.abs(self.frequencies_hz - frequency_hz)))
+        return float(self.power_dbm[idx])
+
+
+@dataclass
+class SpectrumAnalyzer:
+    """Swept analyzer receiving through an antenna at some distance.
+
+    Parameters mirror front-panel settings: span via ``start_hz`` /
+    ``stop_hz`` and ``rbw_hz``.  The receive chain is
+    ``emission -> near-field coupling -> antenna response -> 50-ohm
+    port power``.
+    """
+
+    start_hz: float = 50.0e6
+    stop_hz: float = 200.0e6
+    rbw_hz: float = 100.0e3
+    dwell_s_per_bin: float = 4.0e-4
+    antenna: SquareLoopAntenna = field(default_factory=SquareLoopAntenna)
+    coupling: NearFieldCoupling = field(default_factory=NearFieldCoupling)
+    environment: AmbientEnvironment = field(
+        default_factory=AmbientEnvironment
+    )
+    rng: np.random.Generator = field(
+        default_factory=lambda: np.random.default_rng(0)
+    )
+
+    def __post_init__(self) -> None:
+        if self.stop_hz <= self.start_hz:
+            raise ValueError("stop frequency must exceed start frequency")
+        if self.rbw_hz <= 0.0:
+            raise ValueError("RBW must be positive")
+        # Accumulated (simulated) measurement wall time.  The paper's
+        # GA is bound by instrument latency (~18 s per 30-sample
+        # measurement over the full 150 MHz span), which is why
+        # Section 5.3(b) proposes narrowing the measured band.
+        self.total_measurement_time_s = 0.0
+
+    def bin_centers(self) -> np.ndarray:
+        n = max(2, int(round((self.stop_hz - self.start_hz) / self.rbw_hz)))
+        return self.start_hz + (np.arange(n) + 0.5) * (
+            (self.stop_hz - self.start_hz) / n
+        )
+
+    # ------------------------------------------------------------------
+    def received_power_w(self, emission: EmissionSpectrum) -> np.ndarray:
+        """Noiseless per-bin signal power for an emission spectrum."""
+        centers = self.bin_centers()
+        power = np.zeros_like(centers)
+        lines = emission.band(
+            self.start_hz - 4.0 * self.rbw_hz, self.stop_hz + 4.0 * self.rbw_hz
+        )
+        if lines.frequencies_hz.size == 0:
+            return power
+        gain = self.coupling.gain() * self.antenna.response(
+            lines.frequencies_hz
+        )
+        v_rx = lines.amplitudes * gain
+        p_lines = v_rx * v_rx / (2.0 * _PORT_OHMS)
+        # Gaussian RBW filter: each line spreads into nearby bins.
+        sigma = self.rbw_hz / 2.355  # FWHM = RBW
+        for f, p in zip(lines.frequencies_hz, p_lines):
+            w = np.exp(-0.5 * ((centers - f) / sigma) ** 2)
+            total = w.sum()
+            if total > 0.0:
+                power += p * w / total
+        return power
+
+    def sweep_time_s(
+        self, band: Optional[Sequence[float]] = None
+    ) -> float:
+        """Wall time of one sweep over ``band`` (default: full span)."""
+        centers = self.bin_centers()
+        if band is not None:
+            mask = (centers >= band[0]) & (centers <= band[1])
+            bins = int(mask.sum())
+        else:
+            bins = centers.size
+        return bins * self.dwell_s_per_bin
+
+    def sweep(self, emission: EmissionSpectrum) -> SpectrumTrace:
+        """One sweep: signal power plus a fresh noise-floor realization."""
+        centers = self.bin_centers()
+        signal = self.received_power_w(emission)
+        noise = self.environment.sample_noise_w(centers.shape, self.rng)
+        self.total_measurement_time_s += self.sweep_time_s()
+        return SpectrumTrace(centers, watts_to_dbm(signal + noise))
+
+    def max_amplitude(
+        self,
+        emission: EmissionSpectrum,
+        band: Optional[Sequence[float]] = None,
+        samples: int = 30,
+    ) -> float:
+        """The paper's GA metric: RMS over ``samples`` sweeps of the band max.
+
+        Returned in linear power units (watts); use
+        :func:`watts_to_dbm` for display.  The RMS-of-30 averaging is
+        what makes the metric stable enough to drive the GA.
+        """
+        band = band or (self.start_hz, self.stop_hz)
+        centers = self.bin_centers()
+        signal = self.received_power_w(emission)
+        mask = (centers >= band[0]) & (centers <= band[1])
+        if not mask.any():
+            raise ValueError(f"no bins inside band {band}")
+        signal = signal[mask]
+        maxima = np.empty(samples)
+        for i in range(samples):
+            noise = self.environment.sample_noise_w(signal.shape, self.rng)
+            maxima[i] = np.max(signal + noise)
+        # A banded measurement only dwells on the requested bins.
+        self.total_measurement_time_s += samples * self.sweep_time_s(band)
+        return float(np.sqrt(np.mean(maxima**2)))
+
+    def max_amplitude_dbm(
+        self,
+        emission: EmissionSpectrum,
+        band: Optional[Sequence[float]] = None,
+        samples: int = 30,
+    ) -> float:
+        return float(
+            watts_to_dbm(np.array(self.max_amplitude(emission, band, samples)))
+        )

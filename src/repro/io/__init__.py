@@ -1,0 +1,29 @@
+"""Persistence: archive generated viruses and characterization results.
+
+A post-silicon lab wants the generated stress tests on disk: the loop,
+the platform it targets, the measured numbers.  This package provides
+JSON round-trips for programs and GA run summaries, plus the rendered
+assembly next to them.
+"""
+
+from repro.io.serialization import (
+    load_population,
+    load_program,
+    load_virus_archive,
+    program_from_dict,
+    program_to_dict,
+    save_population,
+    save_program,
+    save_virus_archive,
+)
+
+__all__ = [
+    "program_to_dict",
+    "program_from_dict",
+    "save_program",
+    "load_program",
+    "save_virus_archive",
+    "load_virus_archive",
+    "save_population",
+    "load_population",
+]

@@ -1,0 +1,200 @@
+"""JSON round-trips for loop programs and virus archives."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.cpu.arm import ARM_ISA
+from repro.cpu.isa import Instruction, InstructionSet, RegisterFile
+from repro.cpu.program import LoopProgram
+from repro.cpu.x86 import X86_ISA
+from repro.ga.templates import render_individual_source
+
+_BASE_ISAS: Dict[str, InstructionSet] = {
+    "armv8": ARM_ISA,
+    "x86-64": X86_ISA,
+}
+
+FORMAT_VERSION = 1
+
+
+class SerializationError(Exception):
+    """Malformed or incompatible serialized data."""
+
+
+def _base_isa_for(isa: InstructionSet) -> str:
+    """Identify which base table an instruction set derives from."""
+    for name, base in _BASE_ISAS.items():
+        base_mnemonics = {s.mnemonic for s in base.specs}
+        if all(s.mnemonic in base_mnemonics for s in isa.specs):
+            return name
+    raise SerializationError(
+        f"instruction set {isa.name!r} does not derive from a known base"
+    )
+
+
+def program_to_dict(program: LoopProgram) -> dict:
+    """Serializable representation of a loop program."""
+    isa = program.isa
+    return {
+        "format_version": FORMAT_VERSION,
+        "base_isa": _base_isa_for(isa),
+        "isa_name": isa.name,
+        "registers": {
+            rf.value: count for rf, count in isa.registers.items()
+        },
+        "memory_slots": isa.memory_slots,
+        "name": program.name,
+        "body": [
+            {
+                "mnemonic": i.mnemonic,
+                "dest": i.dest,
+                "sources": list(i.sources),
+                "address": i.address,
+            }
+            for i in program.body
+        ],
+    }
+
+
+def program_from_dict(data: dict) -> LoopProgram:
+    """Reconstruct a loop program from its serialized form."""
+    try:
+        version = data["format_version"]
+        base_name = data["base_isa"]
+        body_data = data["body"]
+    except (KeyError, TypeError) as exc:
+        raise SerializationError(f"missing field: {exc}") from exc
+    if version != FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported format version {version!r}"
+        )
+    try:
+        base = _BASE_ISAS[base_name]
+    except KeyError:
+        raise SerializationError(
+            f"unknown base ISA {base_name!r}"
+        ) from None
+    registers = {
+        RegisterFile(key): int(count)
+        for key, count in data.get("registers", {}).items()
+    } or dict(base.registers)
+    isa = InstructionSet(
+        name=data.get("isa_name", base.name),
+        specs=base.specs,
+        registers=registers,
+        memory_slots=int(data.get("memory_slots", base.memory_slots)),
+    )
+    body = []
+    for entry in body_data:
+        try:
+            spec = isa.spec(entry["mnemonic"])
+        except KeyError as exc:
+            raise SerializationError(str(exc)) from exc
+        body.append(
+            Instruction(
+                spec=spec,
+                dest=entry.get("dest"),
+                sources=tuple(entry.get("sources", ())),
+                address=entry.get("address"),
+            )
+        )
+    return LoopProgram(
+        isa=isa, body=tuple(body), name=data.get("name", "loaded")
+    )
+
+
+def save_program(
+    program: LoopProgram, path: Union[str, Path]
+) -> None:
+    """Write a program to a JSON file."""
+    Path(path).write_text(
+        json.dumps(program_to_dict(program), indent=2), encoding="utf-8"
+    )
+
+
+def load_program(path: Union[str, Path]) -> LoopProgram:
+    """Read a program back from a JSON file."""
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid JSON: {exc}") from exc
+    return program_from_dict(data)
+
+
+def save_population(
+    programs, path: Union[str, Path]
+) -> None:
+    """Persist a whole GA population (for resuming a search later).
+
+    Section 3.1(a): the initial seed population "can be either a new
+    random initial population or a population from a previous GA run".
+    """
+    data = {
+        "format_version": FORMAT_VERSION,
+        "individuals": [program_to_dict(p) for p in programs],
+    }
+    Path(path).write_text(json.dumps(data, indent=2), encoding="utf-8")
+
+
+def load_population(path: Union[str, Path]):
+    """Load a previously saved population."""
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid JSON: {exc}") from exc
+    if data.get("format_version") != FORMAT_VERSION:
+        raise SerializationError("unsupported population format")
+    try:
+        individuals = data["individuals"]
+    except KeyError:
+        raise SerializationError("missing individuals field") from None
+    return [program_from_dict(entry) for entry in individuals]
+
+
+def save_virus_archive(
+    summary, directory: Union[str, Path], stem: Optional[str] = None
+) -> Path:
+    """Archive a GA run: program JSON, assembly text and metrics.
+
+    Returns the path of the metadata file.  ``summary`` is a
+    :class:`repro.core.results.GARunSummary`.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    stem = stem or f"{summary.cluster_name}-{summary.metric}"
+
+    save_program(summary.virus, directory / f"{stem}.json")
+    (directory / f"{stem}.s").write_text(
+        render_individual_source(summary.virus), encoding="utf-8"
+    )
+    metadata = {
+        "format_version": FORMAT_VERSION,
+        "cluster": summary.cluster_name,
+        "metric": summary.metric,
+        "generations": summary.generations,
+        "dominant_frequency_hz": summary.dominant_frequency_hz,
+        "max_droop_v": summary.max_droop_v,
+        "peak_to_peak_v": summary.peak_to_peak_v,
+        "ipc": summary.ipc,
+        "loop_frequency_hz": summary.loop_frequency_hz,
+        "loop_period_s": summary.loop_period_s,
+        "program_file": f"{stem}.json",
+        "assembly_file": f"{stem}.s",
+    }
+    meta_path = directory / f"{stem}.meta.json"
+    meta_path.write_text(json.dumps(metadata, indent=2), encoding="utf-8")
+    return meta_path
+
+
+def load_virus_archive(meta_path: Union[str, Path]):
+    """Load an archived virus: (program, metadata dict)."""
+    meta_path = Path(meta_path)
+    try:
+        metadata = json.loads(meta_path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid JSON: {exc}") from exc
+    program = load_program(meta_path.parent / metadata["program_file"])
+    return program, metadata

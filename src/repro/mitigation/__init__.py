@@ -1,0 +1,26 @@
+"""Droop-mitigation models: what the viruses are used to evaluate.
+
+The paper's related work (Section 9) surveys mitigation mechanisms --
+adaptive clocking chief among them -- and Section 6 warns that power
+gating raises the resonance frequency, which *"has detrimental
+implications on voltage-noise mitigation mechanisms such as
+adaptive-clocking, that are extremely sensitive to response-latency."*
+
+This package implements a closed-loop adaptive-clocking model against
+the simulated PDN so that claim (and the value of representative dI/dt
+stress tests for mitigation tuning) can be evaluated quantitatively.
+"""
+
+from repro.mitigation.adaptive_clock import (
+    AdaptiveClock,
+    AdaptiveClockConfig,
+    ClosedLoopResult,
+    resonant_burst,
+)
+
+__all__ = [
+    "AdaptiveClock",
+    "AdaptiveClockConfig",
+    "ClosedLoopResult",
+    "resonant_burst",
+]

@@ -1,0 +1,186 @@
+"""Closed-loop adaptive clocking against the simulated PDN.
+
+Adaptive clocking ([21][29] in the paper) watches the rail and, when a
+droop crosses a trip threshold, stretches the clock: the core slows,
+current demand falls, and the dip bottoms out above the failure point.
+Its Achilles' heel is response latency -- the droop keeps developing
+for the detector/actuator delay before any relief arrives.
+
+The model runs the PDN's trapezoidal stepper one clock cycle at a time
+with the controller in the loop:
+
+- each cycle draws the workload's scheduled current, scaled by the
+  throttle factor while a stretch is active;
+- when the die voltage crosses ``trip_threshold_v`` below nominal, a
+  throttle is scheduled ``response_latency_s`` later and held for
+  ``hold_s``.
+
+Section 6's warning falls out of the physics: with fewer powered cores
+the resonance is faster, the dip reaches bottom sooner, and a fixed
+response latency arrives too late -- the mitigation's usable latency
+budget shrinks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.pdn.models import PDNModel
+from repro.pdn.transient import TransientSolver
+
+
+@dataclass(frozen=True)
+class AdaptiveClockConfig:
+    """Controller parameters.
+
+    ``trip_threshold_v`` is the droop (below nominal) that arms the
+    throttle; ``response_latency_s`` covers detection plus clock
+    actuation; ``throttle_factor`` is the current ratio while
+    stretched; ``hold_s`` is the minimum stretch duration.
+    """
+
+    trip_threshold_v: float = 0.030
+    response_latency_s: float = 5.0e-9
+    throttle_factor: float = 0.6
+    hold_s: float = 30.0e-9
+
+    def __post_init__(self) -> None:
+        if self.trip_threshold_v <= 0.0:
+            raise ValueError("trip threshold must be positive")
+        if not 0.0 < self.throttle_factor <= 1.0:
+            raise ValueError("throttle factor must be in (0, 1]")
+        if self.response_latency_s < 0.0:
+            raise ValueError("response latency must be >= 0")
+
+
+@dataclass
+class ClosedLoopResult:
+    """Waveforms and summary of one closed-loop run."""
+
+    times_s: np.ndarray
+    die_voltage: np.ndarray
+    throttled: np.ndarray
+    nominal_voltage: float
+
+    @property
+    def min_voltage(self) -> float:
+        return float(self.die_voltage.min())
+
+    @property
+    def max_droop(self) -> float:
+        return self.nominal_voltage - self.min_voltage
+
+    @property
+    def throttle_fraction(self) -> float:
+        """Fraction of cycles spent stretched (the performance cost)."""
+        return float(np.mean(self.throttled))
+
+
+def resonant_burst(
+    pdn: PDNModel,
+    powered_cores: int,
+    base_a: float,
+    swing_a: float,
+    start_s: float,
+    duration_s: float,
+) -> "callable":
+    """A worst-case load: a square-wave burst at the rail's resonance.
+
+    Before ``start_s`` the load idles at ``base_a``; then it alternates
+    between ``base_a + swing_a`` and ``base_a`` at the first-order
+    resonance frequency of the given power-gating state for
+    ``duration_s`` -- the Fig. 2 excitation as a time-bounded event.
+    """
+    f_res = pdn.measured_resonance_hz(powered_cores)
+
+    def load(t: float) -> float:
+        if t < start_s or t > start_s + duration_s:
+            return base_a
+        phase = (t - start_s) * f_res
+        return base_a + (swing_a if (phase % 1.0) < 0.5 else 0.0)
+
+    load.resonance_hz = f_res
+    return load
+
+
+class AdaptiveClock:
+    """Simulate a cluster rail with the throttling controller in-loop."""
+
+    def __init__(
+        self,
+        pdn: PDNModel,
+        powered_cores: int,
+        config: AdaptiveClockConfig = AdaptiveClockConfig(),
+        dt_s: float = 0.5e-9,
+    ):
+        self.pdn = pdn
+        self.powered_cores = powered_cores
+        self.config = config
+        self.dt_s = dt_s
+        self._solver = TransientSolver(
+            pdn.build_circuit(powered_cores), dt=dt_s
+        )
+
+    def run(
+        self,
+        load_fn,
+        duration_s: float,
+        enabled: bool = True,
+    ) -> ClosedLoopResult:
+        """Run the closed loop for ``duration_s``.
+
+        ``load_fn(t) -> amperes`` is the unthrottled demand;
+        ``enabled=False`` gives the unmitigated baseline.
+        """
+        cfg = self.config
+        nominal = self.pdn.nominal_voltage
+        trip_v = nominal - cfg.trip_threshold_v
+        steps = int(round(duration_s / self.dt_s))
+        stepper = self._solver.stepper("die")
+        stepper.reset(load_fn(0.0))
+
+        times = np.empty(steps)
+        volts = np.empty(steps)
+        throttled = np.zeros(steps, dtype=bool)
+
+        throttle_until = -1.0
+        pending_at: Optional[float] = None
+        for k in range(steps):
+            t = (k + 1) * self.dt_s
+            active = enabled and t <= throttle_until
+            if pending_at is not None and enabled and t >= pending_at:
+                throttle_until = t + cfg.hold_s
+                pending_at = None
+                active = True
+            demand = load_fn(t)
+            if active:
+                demand *= cfg.throttle_factor
+            v = stepper.step(demand)
+            times[k] = t
+            volts[k] = v
+            throttled[k] = active
+            # detector: arm the throttle once the rail crosses the trip
+            if (
+                enabled
+                and v < trip_v
+                and pending_at is None
+                and t > throttle_until
+            ):
+                pending_at = t + cfg.response_latency_s
+        return ClosedLoopResult(
+            times_s=times,
+            die_voltage=volts,
+            throttled=throttled,
+            nominal_voltage=nominal,
+        )
+
+    def improvement_v(
+        self, load_fn, duration_s: float
+    ) -> float:
+        """Droop reduction the controller buys for this load."""
+        base = self.run(load_fn, duration_s, enabled=False)
+        mitigated = self.run(load_fn, duration_s, enabled=True)
+        return base.max_droop - mitigated.max_droop

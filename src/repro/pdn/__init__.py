@@ -1,0 +1,51 @@
+"""Power-delivery-network (PDN) circuit simulation substrate.
+
+The paper models the PDN of a die/package/PCB system as a distributed RLC
+network (Fig. 1a) and characterizes it with HSPICE plus physical
+measurements.  This package provides the equivalent in pure Python:
+
+- :mod:`repro.pdn.elements` / :mod:`repro.pdn.netlist` -- a small
+  modified-nodal-analysis (MNA) circuit builder supporting R, L, C,
+  voltage sources and (time-varying) current sources.
+- :mod:`repro.pdn.impedance` -- complex AC analysis producing the input
+  impedance :math:`Z(f)` seen by the die (Fig. 1b).
+- :mod:`repro.pdn.transient` -- trapezoidal time-domain integration for
+  step and pulsed current excitations (Figs. 1c and 2).
+- :mod:`repro.pdn.steady_state` -- exact periodic steady-state solver
+  (harmonic decomposition against the AC transfer functions) used as
+  the fast path for GA fitness evaluation.
+- :mod:`repro.pdn.models` -- per-platform PDN presets calibrated so that
+  the first-order resonance frequencies match the paper's measurements.
+"""
+
+from repro.pdn.elements import (
+    Capacitor,
+    CurrentSource,
+    Inductor,
+    Resistor,
+    VoltageSource,
+)
+from repro.pdn.netlist import Circuit, GROUND
+from repro.pdn.impedance import ACAnalysis, input_impedance
+from repro.pdn.transient import TransientResult, TransientSolver
+from repro.pdn.steady_state import PeriodicResponse, SteadyStateSolver
+from repro.pdn.models import PDNModel, PDNParameters, first_order_resonance_hz
+
+__all__ = [
+    "Resistor",
+    "Inductor",
+    "Capacitor",
+    "VoltageSource",
+    "CurrentSource",
+    "Circuit",
+    "GROUND",
+    "ACAnalysis",
+    "input_impedance",
+    "TransientSolver",
+    "TransientResult",
+    "SteadyStateSolver",
+    "PeriodicResponse",
+    "PDNModel",
+    "PDNParameters",
+    "first_order_resonance_hz",
+]

@@ -1,0 +1,100 @@
+"""Circuit element definitions for the MNA netlist builder.
+
+Every element connects two nodes identified by strings.  The reserved node
+name ``"0"`` (:data:`repro.pdn.netlist.GROUND`) is the reference node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Union
+
+Waveform = Union[float, Callable[[float], float]]
+
+
+@dataclass(frozen=True)
+class Element:
+    """Base class for two-terminal circuit elements."""
+
+    name: str
+    node_a: str
+    node_b: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("element name must be non-empty")
+        if self.node_a == self.node_b:
+            raise ValueError(
+                f"element {self.name!r} connects node {self.node_a!r} to itself"
+            )
+
+
+@dataclass(frozen=True)
+class Resistor(Element):
+    """Ideal resistor of ``resistance`` ohms between ``node_a`` and ``node_b``."""
+
+    resistance: float = 0.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.resistance <= 0.0:
+            raise ValueError(f"resistor {self.name!r} needs resistance > 0")
+
+
+@dataclass(frozen=True)
+class Capacitor(Element):
+    """Ideal capacitor of ``capacitance`` farads."""
+
+    capacitance: float = 0.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.capacitance <= 0.0:
+            raise ValueError(f"capacitor {self.name!r} needs capacitance > 0")
+
+
+@dataclass(frozen=True)
+class Inductor(Element):
+    """Ideal inductor of ``inductance`` henries.
+
+    Inductors are group-2 elements in MNA: their branch current is an
+    explicit unknown, which keeps DC analysis (where they are shorts)
+    well-posed.
+    """
+
+    inductance: float = 0.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.inductance <= 0.0:
+            raise ValueError(f"inductor {self.name!r} needs inductance > 0")
+
+
+@dataclass(frozen=True)
+class VoltageSource(Element):
+    """Ideal voltage source: ``V(node_a) - V(node_b) = voltage``."""
+
+    voltage: float = 0.0
+
+
+@dataclass(frozen=True)
+class CurrentSource(Element):
+    """Current source driving ``current`` amperes from ``node_a`` to ``node_b``.
+
+    A positive value pulls current out of ``node_a`` and returns it into
+    ``node_b`` (load convention: a CPU drawing current from the die node
+    to ground is ``CurrentSource("iload", "die", "0", current=...)``).
+
+    ``current`` may be a constant or a callable ``f(t_seconds) -> amps``
+    for transient analysis.  AC and steady-state analyses treat current
+    sources as stimulus injection points and ignore the waveform.
+    """
+
+    current: Waveform = 0.0
+    label: Optional[str] = field(default=None, compare=False)
+
+    def value_at(self, t: float) -> float:
+        """Return the instantaneous source current at time ``t``."""
+        if callable(self.current):
+            return float(self.current(t))
+        return float(self.current)

@@ -1,0 +1,387 @@
+"""Time-domain transient simulation via trapezoidal companion models.
+
+This is the classical SPICE approach: at a fixed step ``h`` every
+capacitor becomes a conductance ``2C/h`` plus a history current source
+and every inductor branch gains an equivalent resistance ``2L/h`` plus a
+history voltage.  Because the PDN is linear and the step is fixed, the
+system matrix is constant and is LU-factorized once; each step is a
+single back-substitution, so long waveforms (Figs. 1c and 2) integrate
+quickly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+from scipy.linalg import lu_factor, lu_solve
+
+from repro.pdn.elements import Capacitor, CurrentSource, Inductor, VoltageSource
+from repro.pdn.impedance import dc_operating_point
+from repro.pdn.netlist import Circuit, MNALayout
+
+
+@dataclass
+class TransientResult:
+    """Sampled waveforms produced by :class:`TransientSolver`.
+
+    ``node_voltages[name][k]`` is the voltage of node ``name`` at
+    ``times[k]``; ``branch_currents`` covers inductors and voltage
+    sources (positive current flows from ``node_a`` to ``node_b``).
+    """
+
+    times: np.ndarray
+    node_voltages: Dict[str, np.ndarray]
+    branch_currents: Dict[str, np.ndarray]
+
+    def voltage(self, node: str) -> np.ndarray:
+        return self.node_voltages[node]
+
+    def current(self, branch: str) -> np.ndarray:
+        return self.branch_currents[branch]
+
+    def min_voltage(self, node: str) -> float:
+        return float(np.min(self.node_voltages[node]))
+
+    def max_voltage(self, node: str) -> float:
+        return float(np.max(self.node_voltages[node]))
+
+    def peak_to_peak(self, node: str) -> float:
+        v = self.node_voltages[node]
+        return float(np.max(v) - np.min(v))
+
+
+class TransientSolver:
+    """Fixed-step trapezoidal integrator for a linear circuit.
+
+    Parameters
+    ----------
+    circuit:
+        The netlist to integrate.  Time-varying behaviour comes from
+        :class:`~repro.pdn.elements.CurrentSource` elements whose
+        ``current`` is a callable of time.
+    dt:
+        Integration step in seconds.  It must resolve the fastest
+        resonance of interest; 1/20 of the first-order resonance period
+        (~0.7 ns for an 80 MHz resonance) is a sound default.
+    """
+
+    def __init__(self, circuit: Circuit, dt: float):
+        if dt <= 0.0:
+            raise ValueError("dt must be positive")
+        self._circuit = circuit
+        self._dt = dt
+        self._layout: MNALayout = circuit.layout()
+        self._matrix_lu = None
+        self._build_matrix()
+
+    @property
+    def dt(self) -> float:
+        return self._dt
+
+    def _build_matrix(self) -> None:
+        layout = self._layout
+        h = self._dt
+        a = self._circuit.ac_matrix(0.0, layout).real.astype(float)
+        # Capacitor companion: conductance 2C/h.
+        for e in self._circuit.elements:
+            if isinstance(e, Capacitor):
+                g = 2.0 * e.capacitance / h
+                ia, ib = layout.node(e.node_a), layout.node(e.node_b)
+                if ia >= 0:
+                    a[ia, ia] += g
+                if ib >= 0:
+                    a[ib, ib] += g
+                if ia >= 0 and ib >= 0:
+                    a[ia, ib] -= g
+                    a[ib, ia] -= g
+            elif isinstance(e, Inductor):
+                # Branch equation becomes  v_ab - (2L/h) i = v_hist.
+                k = layout.branch(e.name)
+                a[k, k] -= 2.0 * e.inductance / h
+                # ac_matrix at omega=0 left the L term absent (it stamps
+                # -j*omega*L = 0); the -2L/h replaces it.
+        self._matrix = a
+        self._matrix_lu = lu_factor(a)
+
+    def run(
+        self,
+        duration: float,
+        initial: Optional[Dict[str, float]] = None,
+        record_every: int = 1,
+    ) -> TransientResult:
+        """Integrate for ``duration`` seconds.
+
+        ``initial`` optionally overrides the starting node voltages;
+        by default the DC operating point (with each current source at
+        its value at ``t = 0``) is used so a constant-load start sits at
+        quiescence and only *changes* in load excite the network.
+        ``record_every`` decimates the stored waveform.
+        """
+        layout = self._layout
+        h = self._dt
+        steps = int(round(duration / h))
+        if steps <= 0:
+            raise ValueError("duration shorter than one step")
+
+        caps = [e for e in self._circuit.elements if isinstance(e, Capacitor)]
+        inds = [e for e in self._circuit.elements if isinstance(e, Inductor)]
+        vsrcs = [
+            e for e in self._circuit.elements if isinstance(e, VoltageSource)
+        ]
+        isrcs = list(self._circuit.current_sources())
+
+        # --- initial state -------------------------------------------------
+        op = dc_operating_point(self._circuit)
+        if initial:
+            op.update(initial)
+
+        def node_v(state: np.ndarray, name: str) -> float:
+            idx = layout.node(name)
+            return 0.0 if idx < 0 else float(state[idx])
+
+        x = np.zeros(layout.size)
+        for name, idx in layout.node_index.items():
+            x[idx] = op.get(name, 0.0)
+        # Initial inductor currents from the DC solve: re-run the DC MNA
+        # to recover branch currents consistent with the node voltages.
+        x_dc = self._dc_state()
+        for e in inds + vsrcs:
+            x[layout.branch(e.name)] = x_dc[layout.branch(e.name)]
+
+        cap_i = {e.name: 0.0 for e in caps}  # capacitor currents (a->b)
+
+        n_rec = steps // record_every + 1
+        times = np.empty(n_rec)
+        traj = np.empty((n_rec, layout.size))
+        times[0] = 0.0
+        traj[0] = x
+        rec = 1
+
+        g_cap = {e.name: 2.0 * e.capacitance / h for e in caps}
+        r_ind = {e.name: 2.0 * e.inductance / h for e in inds}
+
+        t = 0.0
+        for step in range(1, steps + 1):
+            t_next = step * h
+            b = np.zeros(layout.size)
+            # Current sources (load convention: from node_a to node_b).
+            for s in isrcs:
+                i_now = s.value_at(t_next)
+                ia, ib = layout.node(s.node_a), layout.node(s.node_b)
+                if ia >= 0:
+                    b[ia] -= i_now
+                if ib >= 0:
+                    b[ib] += i_now
+            # Capacitor history: I_hist = g*v_n + i_n injected a->b.
+            for e in caps:
+                i_hist = g_cap[e.name] * (
+                    node_v(x, e.node_a) - node_v(x, e.node_b)
+                ) + cap_i[e.name]
+                ia, ib = layout.node(e.node_a), layout.node(e.node_b)
+                if ia >= 0:
+                    b[ia] += i_hist
+                if ib >= 0:
+                    b[ib] -= i_hist
+            # Inductor history: v_ab(n+1) - R i(n+1) = -R i(n) - v_ab(n).
+            for e in inds:
+                k = layout.branch(e.name)
+                v_ab = node_v(x, e.node_a) - node_v(x, e.node_b)
+                b[k] = -r_ind[e.name] * x[k] - v_ab
+            for e in vsrcs:
+                b[layout.branch(e.name)] = e.voltage
+
+            x_next = lu_solve(self._matrix_lu, b)
+
+            # Update capacitor currents for the next history term.
+            for e in caps:
+                v_new = node_v(x_next, e.node_a) - node_v(x_next, e.node_b)
+                v_old = node_v(x, e.node_a) - node_v(x, e.node_b)
+                i_hist = g_cap[e.name] * v_old + cap_i[e.name]
+                cap_i[e.name] = g_cap[e.name] * v_new - i_hist
+
+            x = x_next
+            t = t_next
+            if step % record_every == 0:
+                times[rec] = t
+                traj[rec] = x
+                rec += 1
+
+        times = times[:rec]
+        traj = traj[:rec]
+        node_voltages = {
+            name: traj[:, idx] for name, idx in layout.node_index.items()
+        }
+        branch_currents = {
+            name: traj[:, layout.num_nodes + idx]
+            for name, idx in layout.branch_index.items()
+        }
+        return TransientResult(
+            times=times,
+            node_voltages=node_voltages,
+            branch_currents=branch_currents,
+        )
+
+    def stepper(self, load_node: str = "die") -> "TransientStepper":
+        """A closed-loop stepper drawing load current at ``load_node``.
+
+        Unlike :meth:`run`, the caller supplies the load current one
+        step at a time -- the hook needed to put a feedback controller
+        (e.g. adaptive clocking) in the loop with the network.
+        """
+        return TransientStepper(self, load_node)
+
+    def _dc_state(self) -> np.ndarray:
+        """Full DC MNA solution (node voltages and branch currents)."""
+        layout = self._layout
+        a = self._circuit.ac_matrix(0.0, layout).real.astype(float)
+        a += np.diag(
+            np.concatenate(
+                [
+                    np.full(layout.num_nodes, 1e-12),
+                    np.zeros(layout.num_branches),
+                ]
+            )
+        )
+        injections: Dict[str, float] = {}
+        for s in self._circuit.current_sources():
+            i0 = s.value_at(0.0)
+            injections[s.node_a] = injections.get(s.node_a, 0.0) - i0
+            injections[s.node_b] = injections.get(s.node_b, 0.0) + i0
+        b = np.zeros(layout.size)
+        for node, val in injections.items():
+            idx = layout.node(node)
+            if idx >= 0:
+                b[idx] += val
+        for e in self._circuit.elements:
+            if isinstance(e, VoltageSource):
+                b[layout.branch(e.name)] = e.voltage
+        return np.linalg.solve(a, b)
+
+
+class TransientStepper:
+    """Step-at-a-time trapezoidal integration with an external load.
+
+    Wraps a :class:`TransientSolver`'s factorized system but takes the
+    die load current per step from the caller instead of from a source
+    element -- current sources in the circuit still apply on top.  The
+    initial state is the DC operating point with the first load value.
+    """
+
+    def __init__(self, solver: TransientSolver, load_node: str):
+        self._solver = solver
+        self._circuit = solver._circuit
+        self._layout = solver._layout
+        self._load_node = load_node
+        if load_node != "0" and load_node not in (
+            self._layout.node_index
+        ):
+            raise KeyError(f"unknown load node {load_node!r}")
+        self._caps = [
+            e for e in self._circuit.elements if isinstance(e, Capacitor)
+        ]
+        self._inds = [
+            e for e in self._circuit.elements if isinstance(e, Inductor)
+        ]
+        self._vsrcs = [
+            e
+            for e in self._circuit.elements
+            if isinstance(e, VoltageSource)
+        ]
+        self._isrcs = list(self._circuit.current_sources())
+        h = solver.dt
+        self._g_cap = {e.name: 2.0 * e.capacitance / h for e in self._caps}
+        self._r_ind = {e.name: 2.0 * e.inductance / h for e in self._inds}
+        self._state: Optional[np.ndarray] = None
+        self._cap_i: Dict[str, float] = {}
+        self._t = 0.0
+
+    @property
+    def time_s(self) -> float:
+        return self._t
+
+    def reset(self, initial_load_a: float = 0.0) -> None:
+        """Initialize at the DC operating point with the given load."""
+        layout = self._layout
+        a = self._circuit.ac_matrix(0.0, layout).real.astype(float)
+        a += np.diag(
+            np.concatenate(
+                [
+                    np.full(layout.num_nodes, 1e-12),
+                    np.zeros(layout.num_branches),
+                ]
+            )
+        )
+        b = np.zeros(layout.size)
+        idx = layout.node(self._load_node)
+        if idx >= 0:
+            b[idx] -= initial_load_a
+        for s in self._isrcs:
+            i0 = s.value_at(0.0)
+            ia, ib = layout.node(s.node_a), layout.node(s.node_b)
+            if ia >= 0:
+                b[ia] -= i0
+            if ib >= 0:
+                b[ib] += i0
+        for e in self._vsrcs:
+            b[layout.branch(e.name)] = e.voltage
+        self._state = np.linalg.solve(a, b)
+        self._cap_i = {e.name: 0.0 for e in self._caps}
+        self._t = 0.0
+
+    def _node_v(self, state: np.ndarray, name: str) -> float:
+        idx = self._layout.node(name)
+        return 0.0 if idx < 0 else float(state[idx])
+
+    def step(self, load_a: float) -> float:
+        """Advance one step with ``load_a`` amperes drawn at the load
+        node; returns the new load-node voltage."""
+        if self._state is None:
+            self.reset(load_a)
+        layout = self._layout
+        x = self._state
+        t_next = self._t + self._solver.dt
+        b = np.zeros(layout.size)
+        idx = layout.node(self._load_node)
+        if idx >= 0:
+            b[idx] -= load_a
+        for s in self._isrcs:
+            i_now = s.value_at(t_next)
+            ia, ib = layout.node(s.node_a), layout.node(s.node_b)
+            if ia >= 0:
+                b[ia] -= i_now
+            if ib >= 0:
+                b[ib] += i_now
+        for e in self._caps:
+            i_hist = self._g_cap[e.name] * (
+                self._node_v(x, e.node_a) - self._node_v(x, e.node_b)
+            ) + self._cap_i[e.name]
+            ia, ib = layout.node(e.node_a), layout.node(e.node_b)
+            if ia >= 0:
+                b[ia] += i_hist
+            if ib >= 0:
+                b[ib] -= i_hist
+        for e in self._inds:
+            k = layout.branch(e.name)
+            v_ab = self._node_v(x, e.node_a) - self._node_v(x, e.node_b)
+            b[k] = -self._r_ind[e.name] * x[k] - v_ab
+        for e in self._vsrcs:
+            b[layout.branch(e.name)] = e.voltage
+
+        x_next = lu_solve(self._solver._matrix_lu, b)
+        for e in self._caps:
+            v_new = self._node_v(x_next, e.node_a) - self._node_v(
+                x_next, e.node_b
+            )
+            v_old = self._node_v(x, e.node_a) - self._node_v(x, e.node_b)
+            i_hist = self._g_cap[e.name] * v_old + self._cap_i[e.name]
+            self._cap_i[e.name] = self._g_cap[e.name] * v_new - i_hist
+        self._state = x_next
+        self._t = t_next
+        return self._node_v(x_next, self._load_node)
+
+    def voltage(self, node: str) -> float:
+        if self._state is None:
+            raise RuntimeError("stepper not initialized; call reset()")
+        return self._node_v(self._state, node)

@@ -1,0 +1,98 @@
+"""AMD Athlon II X4 645 desktop platform model.
+
+Quad-core out-of-order x86-64 at 3.1 GHz / 1.4 V on an ASUS M5A78L LE
+board whose on-package Kelvin pads allow direct rail probing with a
+differential probe and bench scope.  Voltage and frequency are driven
+through an Overdrive-style utility, which also ships the stability test
+the paper compares against (see :mod:`repro.workloads.stress`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.cpu.current import CurrentModel
+from repro.cpu.isa import ExecutionUnit
+from repro.cpu.pipeline import OutOfOrderPipeline
+from repro.cpu.x86 import X86_ISA
+from repro.instruments.probes import DifferentialProbe
+from repro.pdn.models import AMD_ATHLON_PDN
+from repro.platforms.base import Cluster, ClusterSpec, NoiseVisibility
+
+ATHLON_UNITS: Dict[ExecutionUnit, int] = {
+    ExecutionUnit.ALU: 3,
+    ExecutionUnit.MUL: 1,
+    ExecutionUnit.DIV: 1,
+    ExecutionUnit.FPU: 2,
+    ExecutionUnit.FDIV: 1,
+    ExecutionUnit.SIMD: 2,
+    ExecutionUnit.LSU: 2,
+    ExecutionUnit.BRANCH: 1,
+}
+
+ATHLON_SPEC = ClusterSpec(
+    name="amd-athlon-ii-x4-645",
+    isa=X86_ISA,
+    num_cores=4,
+    microarchitecture="out-of-order",
+    nominal_voltage=1.4,
+    nominal_clock_hz=3.1e9,
+    clock_step_hz=100.0e6,
+    min_clock_hz=800.0e6,
+    technology_nm=45,
+    visibility=NoiseVisibility.KELVIN_PADS,
+    has_scl=False,
+    pdn_params=AMD_ATHLON_PDN,
+    current_model=CurrentModel(
+        base_current_a=1.0, amps_per_energy=0.55, frontend_energy=0.3
+    ),
+    uncore_current_a=1.0,
+)
+
+
+class Overdrive:
+    """AMD Overdrive-style voltage/frequency control utility."""
+
+    def __init__(self, cluster: Cluster):
+        self._cluster = cluster
+
+    def set_cpu_frequency(self, clock_hz: float) -> None:
+        self._cluster.set_clock(clock_hz)
+
+    def set_cpu_voltage(self, volts: float) -> None:
+        self._cluster.set_voltage(volts)
+
+    def reset_defaults(self) -> None:
+        self._cluster.reset()
+
+
+@dataclass
+class AMDDesktop:
+    """The desktop platform: the Athlon cluster plus its bench probing."""
+
+    cpu: Cluster
+    probe: DifferentialProbe
+    overdrive: Overdrive = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.overdrive = Overdrive(self.cpu)
+
+    @property
+    def clusters(self) -> Dict[str, Cluster]:
+        return {"amd-athlon-ii-x4-645": self.cpu}
+
+
+def make_amd_desktop() -> AMDDesktop:
+    """Fresh AMD desktop model at nominal operating point."""
+    cpu = Cluster(
+        ATHLON_SPEC,
+        OutOfOrderPipeline(
+            width=3,
+            window=72,
+            rob_size=168,
+            unit_counts=ATHLON_UNITS,
+            name="athlon",
+        ),
+    )
+    return AMDDesktop(cpu=cpu, probe=DifferentialProbe())

@@ -1,0 +1,167 @@
+"""GPU platform extension (the paper's future work (Section 10)).
+
+*"For future work, we aim to extend our methodology to GPU PDNs,
+complementing recent studies on GPU voltage noise [18][19]."*
+
+A GPU is, for this methodology, just another cluster: many compute
+units (CUs) on one voltage rail, a wide-SIMD instruction stream, and an
+LC-tank PDN of its own.  This module supplies a SIMT-flavoured
+instruction table (wide vector ops carry large per-instruction energy:
+32 lanes switch at once), an 8-CU in-order model and a PDN preset
+calibrated to a 55 MHz first-order resonance with all CUs powered
+(GPU rails carry more die capacitance, so they resonate below the CPU
+clusters), rising to 90 MHz with one CU.
+
+Everything downstream -- the fast EM sweep, EM-driven GA, power-gating
+studies -- works unchanged, which is the point of the extension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.cpu.current import CurrentModel
+from repro.cpu.isa import (
+    ExecutionUnit,
+    InstructionClass,
+    InstructionSet,
+    InstructionSpec,
+    RegisterFile,
+)
+from repro.cpu.pipeline import InOrderPipeline
+from repro.pdn.models import PDNParameters
+from repro.platforms.base import Cluster, ClusterSpec, NoiseVisibility
+
+_U = ExecutionUnit
+_C = InstructionClass
+_R = RegisterFile
+
+
+def _spec(mnemonic, iclass, unit, latency, rt, energy, **kw):
+    return InstructionSpec(
+        mnemonic=mnemonic,
+        iclass=iclass,
+        unit=unit,
+        latency=latency,
+        recip_throughput=rt,
+        energy=energy,
+        **kw,
+    )
+
+
+GPU_SPECS = (
+    # scalar control path (cheap)
+    _spec("s_mov", _C.INT_SHORT, _U.ALU, 1, 1, 0.4, num_sources=1),
+    _spec("s_add", _C.INT_SHORT, _U.ALU, 1, 1, 0.5),
+    # wide vector ALU: 32 lanes switch together -> big charge packets
+    _spec("v_add32", _C.SIMD, _U.SIMD, 2, 1, 6.0, regfile=_R.VEC),
+    _spec("v_mul32", _C.SIMD, _U.SIMD, 3, 1, 7.5, regfile=_R.VEC),
+    _spec(
+        "v_fma32", _C.SIMD, _U.SIMD, 3, 1, 9.0, regfile=_R.VEC,
+        num_sources=3,
+    ),
+    # transcendental/divide: long, non-pipelined -> low-current shadow
+    _spec(
+        "v_rcp32", _C.SIMD, _U.FDIV, 8, 8, 3.0, regfile=_R.VEC,
+        num_sources=1,
+    ),
+    _spec(
+        "v_sqrt32", _C.SIMD, _U.FDIV, 20, 20, 4.5, regfile=_R.VEC,
+        num_sources=1,
+    ),
+    # scalar float
+    _spec("v_fadd", _C.FLOAT, _U.FPU, 3, 1, 1.2, regfile=_R.FP),
+    # memory: coalesced L1 hits
+    _spec(
+        "ld_shared", _C.MEM, _U.LSU, 4, 1, 5.0, num_sources=0,
+        touches_memory=True,
+    ),
+    _spec(
+        "st_shared", _C.MEM, _U.LSU, 2, 1, 4.5, num_sources=1,
+        has_dest=False, touches_memory=True,
+    ),
+    # dummy branch
+    _spec(
+        "s_branch", _C.BRANCH, _U.BRANCH, 1, 1, 0.3, num_sources=0,
+        has_dest=False,
+    ),
+)
+
+GPU_ISA = InstructionSet(
+    name="gpu-simt",
+    specs=GPU_SPECS,
+    registers={_R.INT: 16, _R.FP: 16, _R.VEC: 24},
+    memory_slots=64,
+)
+
+GPU_UNITS: Dict[ExecutionUnit, int] = {
+    ExecutionUnit.ALU: 1,
+    ExecutionUnit.MUL: 1,
+    ExecutionUnit.DIV: 1,
+    ExecutionUnit.FPU: 1,
+    ExecutionUnit.FDIV: 1,
+    ExecutionUnit.SIMD: 2,
+    ExecutionUnit.LSU: 1,
+    ExecutionUnit.BRANCH: 1,
+}
+
+GPU_PDN = PDNParameters(
+    name="gpu-8cu",
+    nominal_voltage=1.05,
+    num_cores=8,
+    c_die_base=119.48e-9,
+    c_die_per_core=39.59e-9,
+    r_die=0.35e-3,
+    l_pkg=10.0e-12,
+    r_pkg=0.25e-3,
+    c_pkg=10.0e-6,
+    esr_pkg=2.0e-3,
+    esl_pkg=10.0e-12,
+    l_pcb=0.5e-9,
+    r_pcb=1.0e-3,
+    c_pcb=1.0e-3,
+    esr_pcb=15.0e-3,
+    esl_pcb=2.0e-9,
+    l_vrm=120.0e-9,
+    r_vrm=1.0e-3,
+)
+
+GPU_SPEC = ClusterSpec(
+    name="gpu-8cu",
+    isa=GPU_ISA,
+    num_cores=8,  # compute units
+    microarchitecture="in-order SIMT",
+    nominal_voltage=1.05,
+    nominal_clock_hz=1.0e9,
+    clock_step_hz=25.0e6,
+    min_clock_hz=200.0e6,
+    technology_nm=16,
+    visibility=NoiseVisibility.NONE,
+    has_scl=False,
+    pdn_params=GPU_PDN,
+    current_model=CurrentModel(
+        base_current_a=0.4, amps_per_energy=0.12, frontend_energy=0.2
+    ),
+    uncore_current_a=0.8,
+)
+
+
+@dataclass
+class GPUCard:
+    """A discrete GPU card: one big cluster of compute units."""
+
+    gpu: Cluster
+
+    @property
+    def clusters(self) -> Dict[str, Cluster]:
+        return {"gpu-8cu": self.gpu}
+
+
+def make_gpu_card() -> GPUCard:
+    """Fresh GPU card model at its nominal operating point."""
+    gpu = Cluster(
+        GPU_SPEC,
+        InOrderPipeline(width=2, unit_counts=GPU_UNITS, name="gpu-cu"),
+    )
+    return GPUCard(gpu=gpu)

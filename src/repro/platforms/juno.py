@@ -1,0 +1,151 @@
+"""ARM Juno R2 development platform model.
+
+Hosts the big.LITTLE pair of clusters from Table 1:
+
+- Cortex-A72: dual-core, out-of-order, 1.2 GHz / 1.0 V nominal, with
+  the OC-DSO power-supply monitor and the SCL square-wave injector on
+  its rail.
+- Cortex-A53: quad-core, in-order, 950 MHz / 1.0 V nominal, in a
+  separate voltage domain with *no* voltage-noise visibility -- the
+  cluster that motivates the EM methodology.
+
+The :class:`SystemControlProcessor` mirrors the DS-5/SCP control path
+the paper uses to sweep frequency, change voltage and power-gate cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.cpu.arm import ARM_ISA
+from repro.cpu.current import CurrentModel
+from repro.cpu.isa import ExecutionUnit
+from repro.cpu.pipeline import InOrderPipeline, OutOfOrderPipeline
+from repro.instruments.oscilloscope import Oscilloscope
+from repro.instruments.scl import SyntheticCurrentLoad
+from repro.pdn.models import CORTEX_A53_PDN, CORTEX_A72_PDN
+from repro.platforms.base import Cluster, ClusterSpec, NoiseVisibility
+
+A72_UNITS: Dict[ExecutionUnit, int] = {
+    ExecutionUnit.ALU: 2,
+    ExecutionUnit.MUL: 1,
+    ExecutionUnit.DIV: 1,
+    ExecutionUnit.FPU: 2,
+    ExecutionUnit.FDIV: 1,
+    ExecutionUnit.SIMD: 2,
+    ExecutionUnit.LSU: 2,
+    ExecutionUnit.BRANCH: 1,
+}
+
+A53_UNITS: Dict[ExecutionUnit, int] = {
+    ExecutionUnit.ALU: 2,
+    ExecutionUnit.MUL: 1,
+    ExecutionUnit.DIV: 1,
+    ExecutionUnit.FPU: 1,
+    ExecutionUnit.FDIV: 1,
+    ExecutionUnit.SIMD: 1,
+    ExecutionUnit.LSU: 1,
+    ExecutionUnit.BRANCH: 1,
+}
+
+A72_SPEC = ClusterSpec(
+    name="cortex-a72",
+    isa=ARM_ISA,
+    num_cores=2,
+    microarchitecture="out-of-order",
+    nominal_voltage=1.0,
+    nominal_clock_hz=1.2e9,
+    clock_step_hz=20.0e6,
+    min_clock_hz=120.0e6,
+    technology_nm=16,
+    visibility=NoiseVisibility.OC_DSO,
+    has_scl=True,
+    pdn_params=CORTEX_A72_PDN,
+    current_model=CurrentModel(
+        base_current_a=0.30, amps_per_energy=0.55, frontend_energy=0.25
+    ),
+    uncore_current_a=0.15,
+)
+
+A53_SPEC = ClusterSpec(
+    name="cortex-a53",
+    isa=ARM_ISA,
+    num_cores=4,
+    microarchitecture="in-order",
+    nominal_voltage=1.0,
+    nominal_clock_hz=950.0e6,
+    clock_step_hz=25.0e6,
+    min_clock_hz=100.0e6,
+    technology_nm=16,
+    visibility=NoiseVisibility.NONE,
+    has_scl=False,
+    pdn_params=CORTEX_A53_PDN,
+    current_model=CurrentModel(
+        base_current_a=0.12, amps_per_energy=0.30, frontend_energy=0.15
+    ),
+    uncore_current_a=0.08,
+)
+
+
+class SystemControlProcessor:
+    """SCP facade: named control operations over the board's clusters."""
+
+    def __init__(self, clusters: Dict[str, Cluster]):
+        self._clusters = clusters
+
+    def set_frequency(self, cluster: str, clock_hz: float) -> None:
+        self._clusters[cluster].set_clock(clock_hz)
+
+    def set_voltage(self, cluster: str, volts: float) -> None:
+        self._clusters[cluster].set_voltage(volts)
+
+    def power_gate(self, cluster: str, powered_cores: int) -> None:
+        self._clusters[cluster].power_gate(powered_cores)
+
+    def reset(self) -> None:
+        for cluster in self._clusters.values():
+            cluster.reset()
+
+
+@dataclass
+class JunoBoard:
+    """The Juno R2 board: two clusters, SCP, OC-DSO and SCL on the A72."""
+
+    a72: Cluster
+    a53: Cluster
+    oc_dso: Oscilloscope
+    scl: SyntheticCurrentLoad
+    scp: SystemControlProcessor = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.scp = SystemControlProcessor(
+            {"cortex-a72": self.a72, "cortex-a53": self.a53}
+        )
+
+    @property
+    def clusters(self) -> Dict[str, Cluster]:
+        return {"cortex-a72": self.a72, "cortex-a53": self.a53}
+
+
+def make_juno_board(dso_seed: int = 11) -> JunoBoard:
+    """Fresh Juno board model at nominal operating points."""
+    import numpy as np
+
+    a72 = Cluster(
+        A72_SPEC,
+        OutOfOrderPipeline(
+            width=3, window=48, rob_size=128, unit_counts=A72_UNITS, name="a72"
+        ),
+    )
+    a53 = Cluster(
+        A53_SPEC,
+        InOrderPipeline(width=2, unit_counts=A53_UNITS, name="a53"),
+    )
+    dso = Oscilloscope(
+        sample_rate_hz=1.6e9,
+        resolution_bits=9,
+        noise_rms_v=0.5e-3,
+        rng=np.random.default_rng(dso_seed),
+    )
+    return JunoBoard(a72=a72, a53=a53, oc_dso=dso, scl=SyntheticCurrentLoad())

@@ -1,0 +1,108 @@
+"""The Table 1 platform matrix as queryable data."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.platforms.base import NoiseVisibility
+
+
+@dataclass(frozen=True)
+class PlatformInfo:
+    """One row of Table 1."""
+
+    motherboard: str
+    cpu: str
+    num_cores: int
+    isa: str
+    microarchitecture: str
+    nominal_clock_hz: float
+    nominal_voltage: float
+    technology_nm: int
+    operating_system: str
+    visibility: NoiseVisibility
+
+
+PLATFORM_TABLE: Tuple[PlatformInfo, ...] = (
+    PlatformInfo(
+        motherboard="Juno Board R2",
+        cpu="Cortex-A72",
+        num_cores=2,
+        isa="ARM",
+        microarchitecture="Out of Order",
+        nominal_clock_hz=1.2e9,
+        nominal_voltage=1.0,
+        technology_nm=16,
+        operating_system="Debian",
+        visibility=NoiseVisibility.OC_DSO,
+    ),
+    PlatformInfo(
+        motherboard="Juno Board R2",
+        cpu="Cortex-A53",
+        num_cores=4,
+        isa="ARM",
+        microarchitecture="In-Order",
+        nominal_clock_hz=0.95e9,
+        nominal_voltage=1.0,
+        technology_nm=16,
+        operating_system="Debian",
+        visibility=NoiseVisibility.NONE,
+    ),
+    PlatformInfo(
+        motherboard="Asus M5A78L LE",
+        cpu="Athlon II X4 645",
+        num_cores=4,
+        isa="x86-64",
+        microarchitecture="Out of Order",
+        nominal_clock_hz=3.1e9,
+        nominal_voltage=1.4,
+        technology_nm=45,
+        operating_system="Windows 8.1",
+        visibility=NoiseVisibility.KELVIN_PADS,
+    ),
+)
+
+
+def by_cpu(cpu: str) -> PlatformInfo:
+    for row in PLATFORM_TABLE:
+        if row.cpu.lower() == cpu.lower():
+            return row
+    raise KeyError(f"no platform row for CPU {cpu!r}")
+
+
+def render_table() -> str:
+    """Format the platform matrix like the paper's Table 1."""
+    headers = [
+        "MB",
+        "CPU",
+        "Cores",
+        "ISA",
+        "uArch",
+        "Freq,Vol",
+        "Tech(nm)",
+        "OS",
+        "Noise visibility",
+    ]
+    rows: List[List[str]] = [headers]
+    for p in PLATFORM_TABLE:
+        rows.append(
+            [
+                p.motherboard,
+                p.cpu,
+                str(p.num_cores),
+                p.isa,
+                p.microarchitecture,
+                f"{p.nominal_clock_hz / 1e9:.2f}GHz,{p.nominal_voltage:g}V",
+                str(p.technology_nm),
+                p.operating_system,
+                p.visibility.value,
+            ]
+        )
+    widths = [max(len(r[i]) for r in rows) for i in range(len(headers))]
+    lines = [
+        "  ".join(cell.ljust(w) for cell, w in zip(row, widths))
+        for row in rows
+    ]
+    lines.insert(1, "-" * len(lines[0]))
+    return "\n".join(lines)

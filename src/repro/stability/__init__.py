@@ -1,0 +1,27 @@
+"""V_MIN methodology: progressive undervolting until failure (Section 5.2).
+
+- :mod:`repro.stability.failure` -- the failure model: a workload
+  deviates (SDC / application crash / system crash) once the
+  instantaneous rail voltage dips below the critical voltage of the
+  logic at the current clock frequency.
+- :mod:`repro.stability.vmin` -- the test harness: start high, lower
+  the supply in steps, run the workload, compare against the golden
+  reference, record the highest voltage with any deviation.
+"""
+
+from repro.stability.failure import (
+    FAILURE_PRESETS,
+    CriticalVoltageModel,
+    Outcome,
+    failure_model_for,
+)
+from repro.stability.vmin import VminResult, VminTester
+
+__all__ = [
+    "Outcome",
+    "CriticalVoltageModel",
+    "FAILURE_PRESETS",
+    "failure_model_for",
+    "VminTester",
+    "VminResult",
+]

@@ -1,0 +1,51 @@
+"""Workload zoo: the benchmarks the paper compares viruses against.
+
+Real benchmark binaries are not available (nor is the hardware to run
+them), so each benchmark is modeled as a *synthetic instruction-mix
+program*: a long loop whose instruction-class profile matches the
+benchmark's character (lbm: FP + memory streaming; mcf: memory-bound;
+Prime95: saturated SIMD FFT kernels; ...).  Running those programs
+through the same pipeline/PDN path as the viruses produces the paper's
+qualitative structure for free: benchmarks are high-power but
+*aperiodic at the resonance*, so they droop much less than a tuned
+dI/dt virus.
+
+- :mod:`repro.workloads.base` -- the Workload protocol.
+- :mod:`repro.workloads.spec` -- SPEC2006-like suite (ARM and x86).
+- :mod:`repro.workloads.desktop` -- Blender/Cinebench/Euler3D/WebXPRT/
+  GeekBench-like Windows workloads (Fig. 18).
+- :mod:`repro.workloads.stress` -- Prime95-like, AMD-stability-like,
+  idle.
+- :mod:`repro.workloads.loops` -- the hand-written high/low-current
+  loop of Section 5.3.
+"""
+
+from repro.workloads.base import (
+    IdleWorkload,
+    ProgramWorkload,
+    Workload,
+    WorkloadRun,
+)
+from repro.workloads.spec import SPEC_PROFILES, spec_suite, spec_workload
+from repro.workloads.desktop import desktop_suite
+from repro.workloads.stress import (
+    amd_stability_test,
+    idle_workload,
+    prime95_like,
+)
+from repro.workloads.loops import high_low_loop
+
+__all__ = [
+    "Workload",
+    "WorkloadRun",
+    "ProgramWorkload",
+    "IdleWorkload",
+    "SPEC_PROFILES",
+    "spec_suite",
+    "spec_workload",
+    "desktop_suite",
+    "prime95_like",
+    "amd_stability_test",
+    "idle_workload",
+    "high_low_loop",
+]

@@ -1,0 +1,137 @@
+"""Workload protocol: anything that can load a cluster's rail."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.cpu.program import LoopProgram
+from repro.pdn.steady_state import PeriodicResponse
+from repro.platforms.base import Cluster, ClusterRun
+
+
+@dataclass
+class WorkloadRun:
+    """Outcome of running a workload on a cluster."""
+
+    workload_name: str
+    response: PeriodicResponse
+    cluster_run: Optional[ClusterRun] = None
+
+    @property
+    def max_droop(self) -> float:
+        return self.response.max_droop
+
+    @property
+    def peak_to_peak(self) -> float:
+        return self.response.peak_to_peak
+
+    @property
+    def min_voltage(self) -> float:
+        return self.response.min_voltage
+
+
+class Workload(abc.ABC):
+    """A runnable workload identified by name."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    @abc.abstractmethod
+    def run(
+        self, cluster: Cluster, active_cores: Optional[int] = None
+    ) -> WorkloadRun:
+        """Execute on ``cluster`` and return the steady rail response."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class ProgramWorkload(Workload):
+    """A workload backed by an instruction loop program.
+
+    Benchmarks carry data-dependent timing variation (``jitter_seed``
+    set): their loop iterations do not stay phase-coherent, so no
+    resonant build-up occurs -- the property that separates them from
+    deliberately deterministic dI/dt viruses.  Pass ``jitter_seed=None``
+    for virus-style deterministic execution.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        program: LoopProgram,
+        jitter_seed: Optional[int] = 77,
+        jitter_tiles: int = 16,
+        jitter_smooth_cycles: int = 12,
+        activity_compression: float = 0.5,
+    ):
+        super().__init__(name)
+        self.program = program
+        self.jitter_seed = jitter_seed
+        self.jitter_tiles = jitter_tiles
+        self.jitter_smooth_cycles = jitter_smooth_cycles
+        self.activity_compression = activity_compression
+
+    def run(
+        self, cluster: Cluster, active_cores: Optional[int] = None
+    ) -> WorkloadRun:
+        rng = (
+            np.random.default_rng(self.jitter_seed)
+            if self.jitter_seed is not None
+            else None
+        )
+        run = cluster.run(
+            self.program,
+            active_cores=active_cores,
+            timing_jitter_rng=rng,
+            jitter_tiles=self.jitter_tiles,
+            jitter_smooth_cycles=self.jitter_smooth_cycles,
+            activity_compression=(
+                self.activity_compression if rng is not None else 1.0
+            ),
+        )
+        return WorkloadRun(
+            workload_name=self.name, response=run.response, cluster_run=run
+        )
+
+
+class IdleWorkload(Workload):
+    """CPU idle: quiescent current with small random wander.
+
+    A flat trace has zero AC content; real idle shows millivolt-level
+    activity from background OS noise, modeled as low-amplitude
+    filtered noise on top of the per-core base current.
+    """
+
+    def __init__(
+        self,
+        name: str = "idle",
+        wander_fraction: float = 0.02,
+        samples: int = 4096,
+        seed: int = 123,
+    ):
+        super().__init__(name)
+        self.wander_fraction = wander_fraction
+        self.samples = samples
+        self.seed = seed
+
+    def run(
+        self, cluster: Cluster, active_cores: Optional[int] = None
+    ) -> WorkloadRun:
+        rng = np.random.default_rng(self.seed)
+        base = (
+            cluster.spec.current_model.base_current_a
+            * cluster.powered_cores
+            + cluster.spec.uncore_current_a
+        )
+        noise = rng.standard_normal(self.samples)
+        # Smooth to kill content near the resonance band.
+        kernel = np.ones(33) / 33.0
+        noise = np.convolve(noise, kernel, mode="same")
+        trace = base * (1.0 + self.wander_fraction * noise)
+        response = cluster.run_trace(trace, cluster.clock_hz)
+        return WorkloadRun(workload_name=self.name, response=response)

@@ -1,0 +1,70 @@
+"""Desktop/Windows workloads for the AMD evaluation (Fig. 18).
+
+Blender and Cinebench (CPU render), Euler3D (CFD), WebXPRT (browser
+mimics) and GeekBench (mixed common workloads) modeled as synthetic
+instruction-mix loops on the x86 pool, same approach as the SPEC suite.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.cpu.isa import InstructionClass, InstructionSet
+from repro.workloads.base import ProgramWorkload
+from repro.workloads.spec import BenchmarkProfile, build_profile_program
+
+_C = InstructionClass
+
+DESKTOP_PROFILES = (
+    BenchmarkProfile(
+        "blender",
+        {_C.FLOAT: 0.40, _C.SIMD: 0.22, _C.INT_SHORT: 0.18,
+         _C.INT_SHORT_MEM: 0.16, _C.BRANCH: 0.04},
+        loop_length=260,
+        seed_salt=31,
+    ),
+    BenchmarkProfile(
+        "cinebench",
+        {_C.FLOAT: 0.44, _C.SIMD: 0.20, _C.INT_SHORT: 0.16,
+         _C.INT_SHORT_MEM: 0.16, _C.BRANCH: 0.04},
+        loop_length=240,
+        seed_salt=32,
+    ),
+    BenchmarkProfile(
+        "euler3d",
+        {_C.FLOAT: 0.48, _C.SIMD: 0.10, _C.INT_SHORT: 0.12,
+         _C.INT_SHORT_MEM: 0.26, _C.BRANCH: 0.04},
+        loop_length=280,
+        seed_salt=33,
+    ),
+    BenchmarkProfile(
+        "webxprt",
+        {_C.INT_SHORT: 0.46, _C.INT_LONG: 0.04, _C.BRANCH: 0.22,
+         _C.INT_SHORT_MEM: 0.24, _C.FLOAT: 0.04},
+        loop_length=300,
+        seed_salt=34,
+    ),
+    BenchmarkProfile(
+        "geekbench",
+        {_C.INT_SHORT: 0.30, _C.INT_LONG: 0.06, _C.FLOAT: 0.20,
+         _C.SIMD: 0.14, _C.INT_SHORT_MEM: 0.24, _C.BRANCH: 0.06},
+        loop_length=260,
+        seed_salt=35,
+    ),
+)
+
+
+def desktop_suite(isa: InstructionSet, seed: int = 2014) -> List[
+    ProgramWorkload
+]:
+    """All desktop workloads for an (x86) instruction set."""
+    return [
+        ProgramWorkload(
+            p.name,
+            build_profile_program(isa, p, seed),
+            jitter_tiles=p.jitter_tiles,
+            jitter_smooth_cycles=p.jitter_smooth_cycles,
+            activity_compression=p.activity_compression,
+        )
+        for p in DESKTOP_PROFILES
+    ]

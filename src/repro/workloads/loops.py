@@ -1,0 +1,37 @@
+"""The hand-written high/low-current loop of Section 5.3.
+
+Eight single-cycle ADDs (issued two per cycle: a four-cycle
+high-current burst) followed by one multi-cycle DIV (a long
+low-current shadow).  Not a proper stress test -- just enough current
+alternation to put a visible EM spike at the loop frequency, which the
+CPU-clock sweep then drags across the band to find the resonance.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.isa import InstructionSet
+from repro.cpu.program import LoopProgram, program_from_mnemonics
+from repro.workloads.base import ProgramWorkload
+
+_ARM_LOOP = ["add"] * 8 + ["sdiv"]
+_X86_LOOP = ["add_rr"] * 8 + ["idiv_rr"]
+_GPU_LOOP = ["v_add32"] * 8 + ["v_rcp32"]
+
+
+def high_low_loop(isa: InstructionSet) -> ProgramWorkload:
+    """The sweep loop for an ISA (8 adds + 1 divide-like stall)."""
+    if isa.name.startswith("armv8"):
+        mnemonics = _ARM_LOOP
+    elif isa.name.startswith("x86"):
+        mnemonics = _X86_LOOP
+    elif isa.name.startswith("gpu"):
+        mnemonics = _GPU_LOOP
+    else:
+        raise ValueError(f"no sweep loop defined for ISA {isa.name!r}")
+    program = program_from_mnemonics(isa, mnemonics, name="high-low")
+    return ProgramWorkload("high-low", program)
+
+
+def high_low_program(isa: InstructionSet) -> LoopProgram:
+    """Just the loop program (for callers that run it themselves)."""
+    return high_low_loop(isa).program

@@ -1,0 +1,104 @@
+"""Stress/stability tests: Prime95-like, AMD stability test, idle.
+
+Prime95's torture test and AMD Overdrive's stability test are
+*power* viruses: they saturate the FP/SIMD units with steady dataflow.
+Sustained high current produces a large IR drop but almost no dI/dt --
+there is no alternation between high- and low-current phases, so the
+resonance never rings.  The paper's Fig. 18 punchline (both pass for 24
+hours at voltages where the EM virus crashes instantly) follows from
+exactly that structure.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.cpu.isa import InstructionClass, InstructionSet
+from repro.cpu.program import LoopProgram, random_instruction
+from repro.workloads.base import IdleWorkload, ProgramWorkload
+
+
+def _saturating_program(
+    isa: InstructionSet,
+    name: str,
+    classes: tuple,
+    length: int,
+    seed: int,
+) -> LoopProgram:
+    """A loop of mostly-independent pipelined instructions.
+
+    Destinations rotate through the register file so consecutive
+    instructions rarely depend on each other: the pipeline stays full
+    and the current stays flat and high.
+    """
+    rng = np.random.default_rng(seed)
+    specs = []
+    for cls in classes:
+        specs.extend(
+            s
+            for s in isa.by_class(cls)
+            # Exclude non-pipelined long-latency ops: a stress test keeps
+            # the units busy, it does not stall them.
+            if s.recip_throughput == 1
+        )
+    if not specs:
+        raise ValueError(f"{name}: no pipelined specs in requested classes")
+    body = []
+    for i in range(length):
+        spec = specs[int(rng.integers(len(specs)))]
+        instr = random_instruction(spec, isa, rng)
+        n_regs = isa.registers[spec.regfile]
+        if spec.has_dest:
+            # Rotate destinations; read from distant registers.
+            instr = type(instr)(
+                spec=spec,
+                dest=i % n_regs,
+                sources=tuple(
+                    (i + 3 + 5 * k) % n_regs
+                    for k in range(spec.num_sources)
+                ),
+                address=instr.address,
+            )
+        body.append(instr)
+    return LoopProgram(isa=isa, body=tuple(body), name=name)
+
+
+def prime95_like(isa: InstructionSet, length: int = 192) -> ProgramWorkload:
+    """Prime95 torture test: saturated SIMD/FP FFT-like kernels."""
+    return ProgramWorkload(
+        "prime95",
+        _saturating_program(
+            isa,
+            "prime95",
+            (InstructionClass.SIMD, InstructionClass.FLOAT),
+            length,
+            seed=9521,
+        ),
+    )
+
+
+def amd_stability_test(
+    isa: InstructionSet, length: int = 224
+) -> ProgramWorkload:
+    """AMD Overdrive's built-in stability test: mixed sustained load."""
+    return ProgramWorkload(
+        "amd-stability",
+        _saturating_program(
+            isa,
+            "amd-stability",
+            (
+                InstructionClass.SIMD,
+                InstructionClass.FLOAT,
+                InstructionClass.INT_SHORT,
+            ),
+            length,
+            seed=2501,
+        ),
+    )
+
+
+def idle_workload(seed: int = 123) -> IdleWorkload:
+    """CPU idle baseline (leftmost bar of Figs. 10/14)."""
+    return IdleWorkload(seed=seed)

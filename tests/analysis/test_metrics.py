@@ -1,0 +1,68 @@
+"""Unit tests for waveform metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (
+    dominant_frequency,
+    max_droop,
+    peak_to_peak,
+    rms,
+    voltage_margin,
+)
+
+
+class TestBasicMetrics:
+    def test_max_droop(self):
+        v = np.array([1.0, 0.95, 0.98])
+        assert max_droop(v, 1.0) == pytest.approx(0.05)
+
+    def test_max_droop_empty_rejected(self):
+        with pytest.raises(ValueError):
+            max_droop(np.array([]), 1.0)
+
+    def test_peak_to_peak(self):
+        assert peak_to_peak(np.array([0.9, 1.1, 1.0])) == pytest.approx(
+            0.2
+        )
+
+    def test_rms_of_constant(self):
+        assert rms(np.full(10, 3.0)) == pytest.approx(3.0)
+
+    def test_rms_of_sine(self):
+        t = np.linspace(0, 1, 10000, endpoint=False)
+        assert rms(np.sin(2 * np.pi * 5 * t)) == pytest.approx(
+            1 / np.sqrt(2), rel=1e-3
+        )
+
+    def test_voltage_margin(self):
+        assert voltage_margin(1.0, 0.85) == pytest.approx(0.15)
+
+
+class TestDominantFrequency:
+    def test_finds_sine_frequency(self):
+        fs = 1e9
+        t = np.arange(2048) / fs
+        v = 1.0 + 0.01 * np.sin(2 * np.pi * 67e6 * t)
+        assert dominant_frequency(v, fs) == pytest.approx(67e6, rel=0.01)
+
+    def test_band_restriction(self):
+        fs = 1e9
+        t = np.arange(2000) / fs  # 10/80 MHz land on exact bins
+        v = (
+            0.05 * np.sin(2 * np.pi * 10e6 * t)
+            + 0.01 * np.sin(2 * np.pi * 80e6 * t)
+        )
+        assert dominant_frequency(v, fs) == pytest.approx(10e6, rel=0.01)
+        assert dominant_frequency(
+            v, fs, band=(50e6, 200e6)
+        ) == pytest.approx(80e6, rel=0.01)
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            dominant_frequency(np.array([1.0, 2.0]), 1e9)
+
+    def test_empty_band_rejected(self):
+        v = np.sin(np.linspace(0, 20, 256))
+        with pytest.raises(ValueError):
+            dominant_frequency(v, 1e9, band=(0.1, 0.2))

@@ -1,0 +1,72 @@
+"""Unit tests for the characterization report."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import CharacterizationReport, characterize
+from repro.core.characterizer import EMCharacterizer
+from repro.ga.engine import GAConfig
+from repro.instruments.spectrum_analyzer import SpectrumAnalyzer
+
+SMALL_GA = GAConfig(
+    population_size=10, generations=5, loop_length=20, seed=3
+)
+
+
+def quick_characterizer(seed=6):
+    return EMCharacterizer(
+        analyzer=SpectrumAnalyzer(rng=np.random.default_rng(seed)),
+        samples=3,
+    )
+
+
+class TestCharacterize:
+    @pytest.fixture(scope="class")
+    def report(self, juno_board):
+        juno_board.a72.reset()
+        return characterize(
+            juno_board.a72,
+            quick_characterizer(),
+            ga_config=SMALL_GA,
+            vmin_workload_names=("idle", "gcc"),
+            seed=3,
+        )
+
+    def test_resonances_per_gating_state(self, report):
+        assert set(report.resonances_hz) == {1, 2}
+        assert report.resonances_hz[1] > report.resonances_hz[2]
+
+    def test_virus_section_populated(self, report):
+        assert report.virus is not None
+        assert report.virus.max_droop_v > 0.0
+
+    def test_vmin_includes_virus(self, report):
+        assert "em-virus" in report.vmin_results
+        assert "idle" in report.vmin_results
+        assert report.vmin_results["em-virus"].vmin >= (
+            report.vmin_results["idle"].vmin
+        )
+
+    def test_markdown_rendering(self, report):
+        text = report.to_markdown()
+        assert "# PDN characterization: cortex-a72" in text
+        assert "| powered cores | resonance |" in text
+        assert "EM-driven dI/dt virus" in text
+        assert "V_MIN ladder" in text
+        assert "em-virus" in text
+
+    def test_vmin_skipped_for_unknown_cluster(self):
+        """Clusters without a failure preset skip the ladder cleanly."""
+        from repro.platforms.gpu import make_gpu_card
+
+        gpu = make_gpu_card().gpu
+        report = characterize(
+            gpu,
+            quick_characterizer(8),
+            ga_config=SMALL_GA,
+            seed=4,
+        )
+        assert report.vmin_results == {}
+        text = report.to_markdown()
+        assert "V_MIN ladder" not in text
+        assert "gpu-8cu" in text

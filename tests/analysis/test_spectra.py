@@ -1,0 +1,51 @@
+"""Unit tests for spectral-line extraction and agreement checks."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.spectra import spectral_lines, spikes_agree
+
+
+class TestSpectralLines:
+    def test_finds_and_ranks_peaks(self):
+        f = np.linspace(0, 100, 101)
+        v = np.zeros(101)
+        v[30] = 5.0
+        v[70] = 9.0
+        lines = spectral_lines(f, v, count=2)
+        assert lines[0] == (70.0, 9.0)
+        assert lines[1] == (30.0, 5.0)
+
+    def test_floor_filters_noise_bumps(self):
+        f = np.linspace(0, 10, 11)
+        v = np.zeros(11)
+        v[3] = 0.5
+        v[7] = 5.0
+        lines = spectral_lines(f, v, count=5, floor=1.0)
+        assert [freq for freq, _ in lines] == [7.0]
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            spectral_lines(np.arange(5.0), np.arange(4.0))
+
+    def test_short_input_sorted(self):
+        lines = spectral_lines(np.array([1.0, 2.0]), np.array([3.0, 9.0]))
+        assert lines[0][1] == 9.0
+
+
+class TestSpikesAgree:
+    def test_matching_spikes(self):
+        a = [(67e6, -40.0), (16.6e6, -55.0)]
+        b = [(67.4e6, 0.002), (16.8e6, 0.001)]
+        assert spikes_agree(a, b, tolerance_hz=1e6, require=2)
+
+    def test_disagreement_detected(self):
+        a = [(67e6, -40.0)]
+        b = [(120e6, -40.0)]
+        assert not spikes_agree(a, b, tolerance_hz=1e6, require=1)
+
+    def test_partial_agreement_threshold(self):
+        a = [(67e6, -40.0), (30e6, -50.0)]
+        b = [(67e6, -40.0), (90e6, -50.0)]
+        assert spikes_agree(a, b, require=1)
+        assert not spikes_agree(a, b, require=2)

@@ -1,0 +1,84 @@
+"""Unit tests for the EM spectrogram utility."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.spectrogram import (
+    Spectrogram,
+    band_power_timeline,
+    em_spectrogram,
+)
+from repro.core.characterizer import EMCharacterizer
+from repro.cpu.program import program_from_mnemonics
+from repro.instruments.spectrum_analyzer import SpectrumAnalyzer
+from repro.workloads.base import ProgramWorkload
+from repro.workloads.spec import spec_suite
+from repro.workloads.stress import idle_workload
+
+
+@pytest.fixture
+def characterizer():
+    return EMCharacterizer(
+        analyzer=SpectrumAnalyzer(rng=np.random.default_rng(9)),
+        samples=3,
+    )
+
+
+@pytest.fixture
+def resonant_virus(a72):
+    program = program_from_mnemonics(
+        a72.spec.isa, ["add"] * 20 + ["sdiv"] * 2, name="virus"
+    )
+    return ProgramWorkload("virus", program, jitter_seed=None)
+
+
+class TestSpectrogram:
+    def test_shape_and_labels(self, a72, characterizer, resonant_virus):
+        schedule = [idle_workload(), resonant_virus]
+        sg = em_spectrogram(characterizer, a72, schedule)
+        assert sg.labels == ["idle", "virus"]
+        assert sg.power_dbm.shape == (2, sg.frequencies_hz.size)
+
+    def test_empty_schedule_rejected(self, a72, characterizer):
+        with pytest.raises(ValueError):
+            em_spectrogram(characterizer, a72, [])
+
+    def test_virus_interval_peaks_at_resonance(
+        self, a72, characterizer, resonant_virus
+    ):
+        sg = em_spectrogram(characterizer, a72, [resonant_virus])
+        label, freq, dbm = sg.peak_per_interval()[0]
+        assert label == "virus"
+        assert freq == pytest.approx(66.7e6, abs=3e6)
+        assert dbm > -60.0
+
+    def test_timeline_flags_virus_interval(
+        self, a72, characterizer, resonant_virus
+    ):
+        schedule = (
+            [idle_workload()]
+            + spec_suite(a72.spec.isa, ["gcc"])
+            + [resonant_virus]
+        )
+        sg = em_spectrogram(characterizer, a72, schedule)
+        timeline = band_power_timeline(sg, (50e6, 200e6))
+        assert timeline.shape == (3,)
+        assert np.argmax(timeline) == 2  # the virus interval
+        assert timeline[2] > timeline[0] + 20.0
+
+    def test_timeline_band_validation(self, a72, characterizer):
+        sg = em_spectrogram(characterizer, a72, [idle_workload()])
+        with pytest.raises(ValueError):
+            band_power_timeline(sg, (1e9, 2e9))
+
+    def test_ascii_rendering(self, a72, characterizer, resonant_virus):
+        sg = em_spectrogram(
+            characterizer, a72, [idle_workload(), resonant_virus]
+        )
+        art = sg.to_ascii(width=40)
+        lines = art.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("idle")
+        # the virus row contains hotter cells than the idle row
+        hot = set("%@#*")
+        assert hot & set(lines[1])

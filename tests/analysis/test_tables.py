@@ -1,0 +1,45 @@
+"""Unit tests for paper-style table rendering."""
+
+from repro.analysis.tables import VirusRow, render_virus_table
+from repro.cpu.arm import ARM_ISA
+from repro.cpu.program import program_from_mnemonics
+
+
+def sample_row(name="a72em"):
+    program = program_from_mnemonics(
+        ARM_ISA, ["add"] * 4 + ["fadd"] * 3 + ["vmul"] * 2 + ["ldr"]
+    )
+    return VirusRow(
+        name=name,
+        program=program,
+        ipc=0.74,
+        loop_period_s=60e-9,
+        loop_frequency_hz=16.67e6,
+        dominant_frequency_hz=66.66e6,
+        voltage_margin_v=0.150,
+    )
+
+
+class TestVirusTable:
+    def test_row_mix_sums_to_one(self):
+        mix = sample_row().mix()
+        assert abs(sum(mix.values()) - 1.0) < 1e-9
+
+    def test_render_contains_headers_and_values(self):
+        text = render_virus_table([sample_row()])
+        assert "Virus" in text and "IPC" in text and "Margin" in text
+        assert "a72em" in text
+        assert "0.74" in text
+        assert "150.0" in text  # margin in mV
+        assert "66.66" in text  # dominant MHz
+
+    def test_multiple_rows(self):
+        text = render_virus_table(
+            [sample_row("a72em"), sample_row("a53em")]
+        )
+        assert "a72em" in text and "a53em" in text
+        assert len(text.splitlines()) == 4  # header + rule + 2 rows
+
+    def test_mix_percentages_rendered(self):
+        text = render_virus_table([sample_row()])
+        assert "40%" in text  # 4/10 adds

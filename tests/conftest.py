@@ -1,0 +1,56 @@
+"""Shared fixtures: platform models and receive chains.
+
+Board models are session-scoped for speed (their PDN solver caches are
+expensive to warm); the function-scoped cluster fixtures reset mutable
+state (voltage, clock, power gating) so tests stay independent.
+"""
+
+import numpy as np
+import pytest
+
+from repro import EMCharacterizer, make_amd_desktop, make_juno_board
+from repro.instruments.spectrum_analyzer import SpectrumAnalyzer
+
+
+@pytest.fixture(scope="session")
+def juno_board():
+    return make_juno_board()
+
+
+@pytest.fixture(scope="session")
+def amd_desktop():
+    return make_amd_desktop()
+
+
+@pytest.fixture
+def a72(juno_board):
+    juno_board.a72.reset()
+    yield juno_board.a72
+    juno_board.a72.reset()
+
+
+@pytest.fixture
+def a53(juno_board):
+    juno_board.a53.reset()
+    yield juno_board.a53
+    juno_board.a53.reset()
+
+
+@pytest.fixture
+def athlon(amd_desktop):
+    amd_desktop.cpu.reset()
+    yield amd_desktop.cpu
+    amd_desktop.cpu.reset()
+
+
+@pytest.fixture
+def characterizer():
+    return EMCharacterizer(
+        analyzer=SpectrumAnalyzer(rng=np.random.default_rng(1234)),
+        samples=5,
+    )
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(99)

@@ -1,0 +1,103 @@
+"""Unit tests for the EMCharacterizer."""
+
+import numpy as np
+import pytest
+
+from repro.core.characterizer import EMCharacterizer, _top_spikes
+from repro.cpu.program import program_from_mnemonics
+from repro.workloads.loops import high_low_program
+
+
+class TestMeasure:
+    def test_measurement_fields(self, a72, characterizer):
+        program = high_low_program(a72.spec.isa)
+        m = characterizer.measure(a72, program, samples=3)
+        assert m.amplitude_w > 0.0
+        assert 50e6 <= m.peak_frequency_hz <= 200e6
+        assert m.loop_frequency_hz == pytest.approx(150e6)
+        assert m.trace.power_dbm.size > 100
+
+    def test_resonant_loop_scores_higher(self, a72, characterizer):
+        """Same loop, clock tuned so loop frequency hits 67 MHz."""
+        program = high_low_program(a72.spec.isa)
+        off = characterizer.measure(a72, program, samples=3)
+        a72.set_clock(540e6)  # 8-cycle loop -> 67.5 MHz
+        on = characterizer.measure(a72, program, samples=3)
+        assert on.amplitude_w > off.amplitude_w
+
+    def test_peak_frequency_tracks_loop(self, a72, characterizer):
+        program = high_low_program(a72.spec.isa)
+        a72.set_clock(800e6)  # loop at 100 MHz
+        m = characterizer.measure(a72, program, samples=3)
+        assert m.peak_frequency_hz == pytest.approx(100e6, abs=2e6)
+
+
+class TestMultiDomain:
+    def test_both_domains_visible(self, juno_board, characterizer):
+        juno_board.a72.reset()
+        juno_board.a53.reset()
+        run72 = juno_board.a72.run(
+            high_low_program(juno_board.a72.spec.isa)
+        )
+        run53 = juno_board.a53.run(
+            high_low_program(juno_board.a53.spec.isa)
+        )
+        md = characterizer.monitor_domains(
+            {"cortex-a72": run72, "cortex-a53": run53}
+        )
+        assert set(md.domain_peaks) == {"cortex-a72", "cortex-a53"}
+        assert set(md.visible_domains()) == {"cortex-a72", "cortex-a53"}
+
+    def test_signatures_at_distinct_frequencies(
+        self, juno_board, characterizer
+    ):
+        juno_board.a72.reset()
+        juno_board.a53.reset()
+        run72 = juno_board.a72.run(
+            high_low_program(juno_board.a72.spec.isa)
+        )
+        run53 = juno_board.a53.run(
+            high_low_program(juno_board.a53.spec.isa)
+        )
+        md = characterizer.monitor_domains(
+            {"cortex-a72": run72, "cortex-a53": run53}
+        )
+        f72 = md.domain_peaks["cortex-a72"][0]
+        f53 = md.domain_peaks["cortex-a53"][0]
+        assert abs(f72 - f53) > 5e6
+
+
+class TestSpectrumVsScopeFFT:
+    def test_instruments_agree_on_spikes(
+        self, juno_board, characterizer
+    ):
+        """Fig. 9: SA spikes and OC-DSO FFT spikes coincide."""
+        from repro.analysis.spectra import spikes_agree
+
+        juno_board.a72.reset()
+        a72 = juno_board.a72
+        a72.set_clock(540e6)  # resonant hi/lo loop
+        run = a72.run(high_low_program(a72.spec.isa))
+        capture = juno_board.oc_dso.capture(run.response, 4e-6)
+        spikes = characterizer.spectrum_vs_scope_fft(run, capture)
+        assert spikes_agree(
+            spikes["spectrum_analyzer"],
+            spikes["oc_dso_fft"],
+            tolerance_hz=2e6,
+            require=1,
+        )
+        a72.reset()
+
+
+class TestTopSpikes:
+    def test_finds_local_maxima(self):
+        f = np.arange(10.0)
+        v = np.array([0, 5, 0, 0, 9, 0, 0, 3, 0, 0], dtype=float)
+        spikes = _top_spikes(f, v, 2)
+        values = {val for _, val in spikes}
+        assert values == {9.0, 5.0}
+
+    def test_short_input(self):
+        f = np.array([1.0, 2.0])
+        v = np.array([3.0, 4.0])
+        assert len(_top_spikes(f, v, 5)) == 2

@@ -1,0 +1,105 @@
+"""Unit tests for the EM-based margin predictor (future work (c))."""
+
+import numpy as np
+import pytest
+
+from repro.core.characterizer import EMCharacterizer
+from repro.core.margin import (
+    EMMarginPredictor,
+    MarginCalibrationPoint,
+)
+from repro.instruments.spectrum_analyzer import SpectrumAnalyzer
+from repro.stability.failure import failure_model_for
+from repro.stability.vmin import VminTester
+from repro.workloads.spec import spec_suite
+from repro.workloads.stress import idle_workload
+
+
+def make_predictor(seed=3):
+    return EMMarginPredictor(
+        EMCharacterizer(
+            analyzer=SpectrumAnalyzer(rng=np.random.default_rng(seed)),
+            samples=6,
+        )
+    )
+
+
+class TestFitting:
+    def test_requires_two_points(self):
+        predictor = make_predictor()
+        with pytest.raises(ValueError):
+            predictor.fit([MarginCalibrationPoint("x", 1e-9, 0.8)])
+
+    def test_unfitted_predict_raises(self):
+        predictor = make_predictor()
+        with pytest.raises(RuntimeError):
+            predictor.predict("x", 1e-9)
+        assert not predictor.is_fitted
+
+    def test_exact_fit_on_two_points(self):
+        predictor = make_predictor()
+        points = [
+            MarginCalibrationPoint("a", 1e-10, 0.78),
+            MarginCalibrationPoint("b", 4e-10, 0.82),
+        ]
+        predictor.fit(points)
+        assert predictor.is_fitted
+        assert predictor.calibration_residual_v() < 1e-12
+        assert predictor.predict("a", 1e-10).predicted_vmin == (
+            pytest.approx(0.78)
+        )
+
+    def test_monotonic_prediction(self):
+        predictor = make_predictor()
+        predictor.fit(
+            [
+                MarginCalibrationPoint("a", 1e-10, 0.78),
+                MarginCalibrationPoint("b", 4e-10, 0.82),
+            ]
+        )
+        lo = predictor.predict("lo", 1e-10).predicted_vmin
+        hi = predictor.predict("hi", 9e-10).predicted_vmin
+        assert hi > lo
+
+    def test_negative_amplitude_rejected(self):
+        predictor = make_predictor()
+        predictor.fit(
+            [
+                MarginCalibrationPoint("a", 1e-10, 0.78),
+                MarginCalibrationPoint("b", 4e-10, 0.82),
+            ]
+        )
+        with pytest.raises(ValueError):
+            predictor.predict("x", -1.0)
+
+
+class TestEndToEndPrediction:
+    def test_predicts_holdout_workload_vmin(self, a72):
+        """Calibrate on a few workloads, predict an unseen one within
+        a couple of undervolting steps."""
+        predictor = make_predictor()
+        tester = VminTester(
+            a72, failure_model_for("cortex-a72"), seed=5
+        )
+        calibration_wls = [idle_workload()] + spec_suite(
+            a72.spec.isa, ["gcc", "namd", "lbm"]
+        )
+        holdout = spec_suite(a72.spec.isa, ["sphinx3"])[0]
+
+        points = []
+        for wl in calibration_wls:
+            amp = predictor.measure_amplitude(a72, wl)
+            vmin = tester.run(wl, repeats=2).vmin
+            points.append(
+                MarginCalibrationPoint(wl.name, amp, vmin)
+            )
+        predictor.fit(points)
+
+        prediction = predictor.predict_workload(a72, holdout)
+        actual = tester.run(holdout, repeats=2).vmin
+        assert prediction.predicted_vmin == pytest.approx(
+            actual, abs=0.025
+        )
+        assert prediction.predicted_margin(1.0) == pytest.approx(
+            1.0 - actual, abs=0.025
+        )

@@ -1,0 +1,104 @@
+"""Unit tests for the EM voltage-emergency monitor."""
+
+import numpy as np
+import pytest
+
+from repro.core.characterizer import EMCharacterizer
+from repro.core.monitor import EmergencyMonitor
+from repro.cpu.program import program_from_mnemonics
+from repro.instruments.spectrum_analyzer import SpectrumAnalyzer
+from repro.workloads.base import ProgramWorkload
+from repro.workloads.spec import spec_suite
+from repro.workloads.stress import idle_workload
+
+
+def make_monitor(seed=4, margin_db=12.0):
+    return EmergencyMonitor(
+        EMCharacterizer(
+            analyzer=SpectrumAnalyzer(rng=np.random.default_rng(seed)),
+            samples=4,
+        ),
+        margin_db=margin_db,
+        samples_per_observation=4,
+    )
+
+
+@pytest.fixture
+def resonant_virus(a72):
+    program = program_from_mnemonics(
+        a72.spec.isa, ["add"] * 20 + ["sdiv"] * 2, name="virus"
+    )
+    return ProgramWorkload("virus", program, jitter_seed=None)
+
+
+class TestConfiguration:
+    def test_invalid_margin(self):
+        with pytest.raises(ValueError):
+            EmergencyMonitor(margin_db=0.0)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            EmergencyMonitor(baseline_window=1)
+
+    def test_baseline_required(self, a72):
+        monitor = make_monitor()
+        with pytest.raises(RuntimeError):
+            monitor.baseline_dbm()
+
+
+class TestDetection:
+    def test_quiet_schedule_raises_no_alarm(self, a72):
+        monitor = make_monitor()
+        quiet = [idle_workload()] + spec_suite(
+            a72.spec.isa, ["gcc", "mcf"]
+        )
+        monitor.calibrate_baseline(a72, quiet)
+        log = monitor.watch(
+            a72, spec_suite(a72.spec.isa, ["omnetpp", "xalancbmk"])
+        )
+        assert log.alarms() == []
+
+    def test_virus_trips_alarm(self, a72, resonant_virus):
+        monitor = make_monitor()
+        monitor.calibrate_baseline(
+            a72,
+            [idle_workload()] + spec_suite(a72.spec.isa, ["gcc", "mcf"]),
+        )
+        log = monitor.watch(
+            a72,
+            spec_suite(a72.spec.isa, ["omnetpp"]) + [resonant_virus],
+        )
+        assert log.alarm_labels() == ["virus"]
+
+    def test_alarming_samples_excluded_from_baseline(
+        self, a72, resonant_virus
+    ):
+        """The virus must not poison the baseline: after the alarm, the
+        threshold still reflects quiet workloads."""
+        monitor = make_monitor()
+        monitor.calibrate_baseline(
+            a72,
+            [idle_workload()] + spec_suite(a72.spec.isa, ["gcc", "mcf"]),
+        )
+        before = monitor.baseline_dbm()
+        monitor.observe(a72, resonant_virus)
+        after = monitor.baseline_dbm()
+        assert after == pytest.approx(before, abs=1.0)
+
+    def test_repeated_virus_keeps_alarming(self, a72, resonant_virus):
+        monitor = make_monitor()
+        monitor.calibrate_baseline(
+            a72, [idle_workload()] + spec_suite(a72.spec.isa, ["gcc"])
+        )
+        log = monitor.watch(a72, [resonant_virus] * 3)
+        assert len(log.alarms()) == 3
+
+    def test_sample_fields(self, a72):
+        monitor = make_monitor()
+        monitor.calibrate_baseline(a72, [idle_workload()])
+        sample = monitor.observe(
+            a72, spec_suite(a72.spec.isa, ["gcc"])[0], index=7
+        )
+        assert sample.index == 7
+        assert sample.label == "gcc"
+        assert sample.amplitude_w > 0.0

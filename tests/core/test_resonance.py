@@ -1,0 +1,74 @@
+"""Unit tests for the fast resonance sweep (Section 5.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.resonance import ResonanceSweep
+
+
+@pytest.fixture
+def sweep(characterizer):
+    return ResonanceSweep(characterizer, samples_per_point=3)
+
+
+def a72_clocks():
+    return [1.2e9 - k * 40e6 for k in range(26)]
+
+
+class TestSweep:
+    def test_finds_a72_resonance(self, a72, sweep):
+        result = sweep.run(a72, clocks_hz=a72_clocks())
+        assert result.resonance_hz() == pytest.approx(67e6, abs=5e6)
+        assert result.cluster_name == "cortex-a72"
+        assert result.powered_cores == 2
+
+    def test_clock_restored_after_sweep(self, a72, sweep):
+        sweep.run(a72, clocks_hz=a72_clocks())
+        assert a72.clock_hz == 1.2e9
+
+    def test_series_sorted_by_frequency(self, a72, sweep):
+        result = sweep.run(a72, clocks_hz=a72_clocks())
+        freqs, amps = result.series()
+        assert (np.diff(freqs) > 0).all()
+        assert freqs.size == amps.size == len(result.points)
+
+    def test_amplitude_peaks_inside_sweep(self, a72, sweep):
+        """The amplitude maximum is interior, not a band edge."""
+        result = sweep.run(a72, clocks_hz=a72_clocks())
+        freqs, amps = result.series()
+        peak_idx = int(np.argmax(amps))
+        assert 0 < peak_idx < freqs.size - 1
+
+
+class TestPowerGatingStudy:
+    def test_resonance_rises_as_cores_gate_off(self, a53, characterizer):
+        sweep = ResonanceSweep(characterizer, samples_per_point=3)
+        clocks = [950e6 - k * 25e6 for k in range(34)]
+        results = sweep.power_gating_study(
+            a53, core_counts=(4, 1), clocks_hz=clocks
+        )
+        four, one = results
+        assert four.powered_cores == 4
+        assert one.powered_cores == 1
+        assert one.resonance_hz() > four.resonance_hz()
+
+    def test_gating_state_restored(self, a53, characterizer):
+        sweep = ResonanceSweep(characterizer, samples_per_point=2)
+        clocks = [950e6 - k * 50e6 for k in range(8)]
+        sweep.power_gating_study(a53, core_counts=(2,), clocks_hz=clocks)
+        assert a53.powered_cores == 4
+
+    def test_single_active_core_isolates_capacitance(
+        self, a53, characterizer
+    ):
+        """Section 6: with one active core in all states, amplitude is
+        highest when the least capacitance is present (fewest powered)."""
+        sweep = ResonanceSweep(characterizer, samples_per_point=3)
+        clocks = [950e6 - k * 25e6 for k in range(34)]
+        results = sweep.power_gating_study(
+            a53, core_counts=(4, 1), clocks_hz=clocks
+        )
+        four, one = results
+        assert max(p.amplitude_w for p in one.points) > max(
+            p.amplitude_w for p in four.points
+        )

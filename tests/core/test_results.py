@@ -1,0 +1,32 @@
+"""Unit tests for result containers."""
+
+import numpy as np
+
+from repro.core.results import MultiDomainSpectrum
+from repro.instruments.spectrum_analyzer import SpectrumTrace
+
+
+class TestMultiDomainSpectrum:
+    def _trace(self):
+        freqs = np.linspace(50e6, 200e6, 100)
+        dbm = np.full(100, -95.0)
+        dbm[20] = -50.0
+        dbm[60] = -55.0
+        return SpectrumTrace(freqs, dbm)
+
+    def test_visible_domains_above_floor(self):
+        trace = self._trace()
+        md = MultiDomainSpectrum(
+            trace=trace,
+            domain_peaks={
+                "a": (trace.frequencies_hz[20], -50.0),
+                "b": (trace.frequencies_hz[60], -55.0),
+                "c": (150e6, -94.0),  # buried in the floor
+            },
+        )
+        visible = md.visible_domains(floor_margin_db=6.0)
+        assert set(visible) == {"a", "b"}
+
+    def test_empty_peaks(self):
+        md = MultiDomainSpectrum(trace=self._trace())
+        assert md.visible_domains() == []

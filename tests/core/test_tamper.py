@@ -1,0 +1,98 @@
+"""Unit tests for resonance-signature tamper detection."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.characterizer import EMCharacterizer
+from repro.core.resonance import ResonanceSweep
+from repro.core.tamper import ResonanceSignature, TamperDetector
+from repro.cpu.pipeline import OutOfOrderPipeline
+from repro.instruments.spectrum_analyzer import SpectrumAnalyzer
+from repro.pdn.models import scaled
+from repro.platforms.base import Cluster
+from repro.platforms.juno import A72_SPEC, A72_UNITS
+
+CLOCKS = [1.2e9 - k * 40e6 for k in range(0, 27)]
+
+
+def fresh_a72(pdn_params=None):
+    spec = A72_SPEC
+    if pdn_params is not None:
+        spec = dataclasses.replace(spec, pdn_params=pdn_params)
+    return Cluster(
+        spec,
+        OutOfOrderPipeline(
+            width=3, window=48, rob_size=128, unit_counts=A72_UNITS
+        ),
+    )
+
+
+def make_detector(seed=9, tolerance=0.06):
+    sweep = ResonanceSweep(
+        EMCharacterizer(
+            analyzer=SpectrumAnalyzer(rng=np.random.default_rng(seed)),
+            samples=4,
+        ),
+        samples_per_point=3,
+    )
+    return TamperDetector(sweep, tolerance=tolerance)
+
+
+class TestEnrollment:
+    def test_signature_covers_gating_states(self):
+        detector = make_detector()
+        signature = detector.enroll(fresh_a72(), clocks_hz=CLOCKS)
+        assert signature.cluster_name == "cortex-a72"
+        assert set(signature.states()) == {1, 2}
+        assert 60e6 < signature.resonances_hz[2] < 75e6
+        assert 78e6 < signature.resonances_hz[1] < 92e6
+
+    def test_invalid_tolerance(self):
+        with pytest.raises(ValueError):
+            TamperDetector(make_detector().sweep, tolerance=0.0)
+
+
+class TestScreening:
+    def test_pristine_unit_passes(self):
+        detector = make_detector()
+        golden = detector.enroll(fresh_a72(), clocks_hz=CLOCKS)
+        verdict = detector.check(fresh_a72(), golden, clocks_hz=CLOCKS)
+        assert not verdict.tampered
+        assert verdict.worst_drift_fraction < detector.tolerance
+
+    def test_added_capacitance_detected(self):
+        """A tampered board (e.g. an implant adding bulk on the rail,
+        modeled as +60 % die capacitance) shifts the resonance down."""
+        detector = make_detector()
+        golden = detector.enroll(fresh_a72(), clocks_hz=CLOCKS)
+        tampered_pdn = scaled(
+            A72_SPEC.pdn_params,
+            c_die_base=A72_SPEC.pdn_params.c_die_base * 1.6,
+            c_die_per_core=A72_SPEC.pdn_params.c_die_per_core * 1.6,
+        )
+        verdict = detector.check(
+            fresh_a72(tampered_pdn), golden, clocks_hz=CLOCKS
+        )
+        assert verdict.tampered
+        assert verdict.worst_drift_fraction > 0.1
+
+    def test_changed_package_inductance_detected(self):
+        """An interposer in the power path raises L_pkg."""
+        detector = make_detector()
+        golden = detector.enroll(fresh_a72(), clocks_hz=CLOCKS)
+        tampered_pdn = scaled(
+            A72_SPEC.pdn_params,
+            l_pkg=A72_SPEC.pdn_params.l_pkg * 2.0,
+        )
+        verdict = detector.check(
+            fresh_a72(tampered_pdn), golden, clocks_hz=CLOCKS
+        )
+        assert verdict.tampered
+
+    def test_wrong_cluster_rejected(self, a53):
+        detector = make_detector()
+        golden = ResonanceSignature("cortex-a72", {2: 67e6})
+        with pytest.raises(ValueError, match="signature is for"):
+            detector.check(a53, golden)

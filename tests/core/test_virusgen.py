@@ -1,0 +1,148 @@
+"""Unit tests for the VirusGenerator (small GA configs for speed)."""
+
+import numpy as np
+import pytest
+
+from repro.core.virusgen import VirusGenerator
+from repro.ga.engine import GAConfig
+from repro.instruments.oscilloscope import Oscilloscope
+from repro.instruments.probes import DifferentialProbe
+
+SMALL = GAConfig(
+    population_size=16, generations=14, loop_length=40, seed=21
+)
+
+
+class TestEMVirusGeneration:
+    @pytest.fixture(scope="class")
+    def summary(self, juno_board):
+        from repro.core.characterizer import EMCharacterizer
+        from repro.instruments.spectrum_analyzer import SpectrumAnalyzer
+
+        juno_board.a72.reset()
+        characterizer = EMCharacterizer(
+            analyzer=SpectrumAnalyzer(rng=np.random.default_rng(77)),
+            samples=4,
+        )
+        gen = VirusGenerator(
+            juno_board.a72, characterizer, config=SMALL
+        )
+        return gen.generate_em_virus(samples=4)
+
+    def test_summary_fields(self, summary):
+        assert summary.cluster_name == "cortex-a72"
+        assert summary.metric == "em-amplitude"
+        assert summary.generations == 14
+        assert len(summary.virus) == 40
+
+    def test_amplitude_improves_over_generations(self, summary):
+        scores = summary.ga_result.score_series()
+        assert scores[-1] > scores[0]
+
+    def test_dominant_frequency_near_resonance(self, summary):
+        assert summary.dominant_frequency_hz == pytest.approx(
+            67e6, abs=6e6
+        )
+
+    def test_droop_exceeds_random_start(self, summary):
+        droops = summary.ga_result.droop_series()
+        assert summary.max_droop_v >= droops[0]
+
+    def test_convergence_table_rows(self, summary):
+        table = summary.convergence_table()
+        assert len(table) == 14
+        gen0 = table[0]
+        assert gen0[0] == 0 and gen0[1] > 0
+
+
+class TestVoltageFeedbackBaselines:
+    def test_droop_virus_requires_ocdso(self, athlon):
+        gen = VirusGenerator(athlon, config=SMALL)
+        with pytest.raises(ValueError, match="OC-DSO"):
+            gen.generate_droop_virus(Oscilloscope())
+
+    def test_kelvin_virus_requires_pads(self, a72):
+        gen = VirusGenerator(a72, config=SMALL)
+        with pytest.raises(ValueError, match="Kelvin"):
+            gen.generate_oscilloscope_virus(DifferentialProbe())
+
+    def test_ocdso_virus_on_a72(self, juno_board):
+        juno_board.a72.reset()
+        gen = VirusGenerator(juno_board.a72, config=SMALL)
+        summary = gen.generate_droop_virus(juno_board.oc_dso)
+        assert summary.metric == "oc-dso-droop"
+        assert summary.max_droop_v > 0.02
+
+    def test_kelvin_virus_on_amd(self, amd_desktop):
+        amd_desktop.cpu.reset()
+        gen = VirusGenerator(
+            amd_desktop.cpu,
+            config=GAConfig(
+                population_size=10, generations=6, loop_length=24,
+                seed=31,
+            ),
+        )
+        summary = gen.generate_oscilloscope_virus(amd_desktop.probe)
+        assert summary.metric == "kelvin-peak-to-peak"
+        assert summary.peak_to_peak_v > 0.0
+
+
+class TestActiveCoreRestriction:
+    def test_two_core_virus_on_quad(self, a53, characterizer):
+        gen = VirusGenerator(
+            a53,
+            characterizer,
+            config=GAConfig(
+                population_size=8, generations=4, loop_length=20, seed=5
+            ),
+            active_cores=2,
+        )
+        summary = gen.generate_em_virus(samples=3)
+        assert summary.max_droop_v > 0.0
+
+
+class TestBandNarrowing:
+    def test_narrowed_band_centers_on_resonance(self, juno_board):
+        from repro.core.characterizer import EMCharacterizer
+        from repro.instruments.spectrum_analyzer import SpectrumAnalyzer
+
+        juno_board.a72.reset()
+        gen = VirusGenerator(
+            juno_board.a72,
+            EMCharacterizer(
+                analyzer=SpectrumAnalyzer(
+                    rng=np.random.default_rng(44)
+                ),
+                samples=3,
+            ),
+            config=SMALL,
+        )
+        clocks = [1.2e9 - k * 40e6 for k in range(26)]
+        low, high = gen.narrowed_band_from_sweep(
+            half_width_hz=10e6, clocks_hz=clocks, samples_per_point=3
+        )
+        center = (low + high) / 2
+        assert abs(center - 67e6) < 8e6
+        assert high - low == pytest.approx(20e6, abs=1e6)
+
+    def test_band_clipped_to_first_order_limits(self, juno_board):
+        from repro.core.characterizer import EMCharacterizer
+        from repro.instruments.spectrum_analyzer import SpectrumAnalyzer
+
+        juno_board.a72.reset()
+        gen = VirusGenerator(
+            juno_board.a72,
+            EMCharacterizer(
+                analyzer=SpectrumAnalyzer(
+                    rng=np.random.default_rng(45)
+                ),
+                samples=3,
+            ),
+            config=SMALL,
+        )
+        clocks = [1.2e9 - k * 40e6 for k in range(26)]
+        low, high = gen.narrowed_band_from_sweep(
+            half_width_hz=50e6, clocks_hz=clocks, samples_per_point=3
+        )
+        assert low >= 50e6
+        assert high <= 200e6

@@ -1,0 +1,64 @@
+"""Unit tests for the square-loop antenna model (Fig. 6)."""
+
+import numpy as np
+import pytest
+
+from repro.em.antenna import SquareLoopAntenna
+
+
+@pytest.fixture(scope="module")
+def antenna():
+    return SquareLoopAntenna()
+
+
+class TestGeometry:
+    def test_loop_inductance_reasonable(self, antenna):
+        """A 3 cm loop is a few tens of nanohenries."""
+        assert 20e-9 < antenna.loop_inductance_h < 200e-9
+
+    def test_capacitance_places_self_resonance(self, antenna):
+        l = antenna.loop_inductance_h
+        c = antenna.shunt_capacitance_f
+        f0 = 1.0 / (2 * np.pi * np.sqrt(l * c))
+        assert f0 == pytest.approx(antenna.self_resonance_hz, rel=1e-6)
+
+
+class TestS11:
+    def test_self_resonance_shows_s11_dip(self, antenna):
+        """|S11| has a clear minimum near 2.95 GHz (the Fig. 6 dip)."""
+        freqs = np.linspace(0.1e9, 5e9, 2000)
+        s11_db = antenna.s11_db(freqs)
+        dip_freq = freqs[np.argmin(s11_db)]
+        assert dip_freq == pytest.approx(2.95e9, rel=0.05)
+
+    def test_poorly_matched_in_measurement_band(self, antenna):
+        """The paper's antenna is NOT matched at 50-200 MHz: |S11| ~ 0 dB."""
+        freqs = np.linspace(50e6, 200e6, 50)
+        s11_db = antenna.s11_db(freqs)
+        assert (s11_db > -3.0).all()
+
+    def test_s11_magnitude_bounded(self, antenna):
+        freqs = np.logspace(6, 10, 200)
+        assert (np.abs(antenna.s11(freqs)) <= 1.0 + 1e-9).all()
+
+
+class TestResponse:
+    def test_flat_in_first_order_band(self, antenna):
+        """Response varies by <1 dB across 50-200 MHz: the antenna does
+        not modulate the band where the PDN resonance lives."""
+        freqs = np.linspace(50e6, 200e6, 100)
+        gain = antenna.response(freqs)
+        ripple_db = 20 * np.log10(gain.max() / gain.min())
+        assert ripple_db < 1.0
+
+    def test_flat_until_1_2ghz(self, antenna):
+        """Fig. 6: relatively flat response from DC until 1.2 GHz."""
+        freqs = np.linspace(10e6, 1.2e9, 200)
+        gain = antenna.response(freqs)
+        ripple_db = 20 * np.log10(gain.max() / gain.min())
+        assert ripple_db < 6.0
+
+    def test_peaks_at_self_resonance(self, antenna):
+        freqs = np.linspace(1e9, 5e9, 2000)
+        gain = antenna.response(freqs)
+        assert freqs[np.argmax(gain)] == pytest.approx(2.95e9, rel=0.05)

@@ -1,0 +1,132 @@
+"""Unit tests for the XML instruction-pool parser."""
+
+import pytest
+
+from repro.cpu.arm import ARM_ISA
+from repro.cpu.isa import RegisterFile
+from repro.ga.instruction_spec import (
+    InstructionSpecError,
+    load_instruction_pool,
+    parse_instruction_pool,
+    render_instruction_pool,
+)
+
+VALID = """
+<instruction-pool isa="armv8">
+  <registers int="12" fp="8" vec="8"/>
+  <memory slots="32"/>
+  <instruction mnemonic="add"/>
+  <instruction mnemonic="mul"/>
+  <instruction mnemonic="fsqrt"/>
+</instruction-pool>
+"""
+
+
+class TestParsing:
+    def test_valid_pool(self):
+        isa = parse_instruction_pool(VALID)
+        assert [s.mnemonic for s in isa.specs] == ["add", "mul", "fsqrt"]
+        assert isa.registers[RegisterFile.INT] == 12
+        assert isa.registers[RegisterFile.FP] == 8
+        assert isa.memory_slots == 32
+
+    def test_defaults_from_base(self):
+        xml = (
+            '<instruction-pool isa="armv8">'
+            '<instruction mnemonic="add"/></instruction-pool>'
+        )
+        isa = parse_instruction_pool(xml)
+        assert isa.registers == ARM_ISA.registers
+        assert isa.memory_slots == ARM_ISA.memory_slots
+
+    def test_x86_base(self):
+        xml = (
+            '<instruction-pool isa="x86-64">'
+            '<instruction mnemonic="add_rm"/></instruction-pool>'
+        )
+        isa = parse_instruction_pool(xml)
+        assert isa.specs[0].touches_memory
+
+    def test_explicit_base_overrides_attribute(self):
+        xml = (
+            '<instruction-pool>'
+            '<instruction mnemonic="add"/></instruction-pool>'
+        )
+        isa = parse_instruction_pool(xml, base=ARM_ISA)
+        assert isa.specs[0].mnemonic == "add"
+
+
+class TestErrors:
+    def test_invalid_xml(self):
+        with pytest.raises(InstructionSpecError, match="invalid XML"):
+            parse_instruction_pool("<oops")
+
+    def test_wrong_root(self):
+        with pytest.raises(InstructionSpecError, match="root"):
+            parse_instruction_pool("<foo/>")
+
+    def test_missing_isa(self):
+        with pytest.raises(InstructionSpecError, match="isa"):
+            parse_instruction_pool(
+                '<instruction-pool><instruction mnemonic="add"/>'
+                "</instruction-pool>"
+            )
+
+    def test_unknown_isa(self):
+        with pytest.raises(InstructionSpecError, match="unknown base ISA"):
+            parse_instruction_pool(
+                '<instruction-pool isa="mips">'
+                '<instruction mnemonic="add"/></instruction-pool>'
+            )
+
+    def test_empty_pool(self):
+        with pytest.raises(InstructionSpecError, match="empty"):
+            parse_instruction_pool('<instruction-pool isa="armv8"/>')
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(InstructionSpecError, match="unknown mnemonic"):
+            parse_instruction_pool(
+                '<instruction-pool isa="armv8">'
+                '<instruction mnemonic="frobnicate"/></instruction-pool>'
+            )
+
+    def test_missing_mnemonic_attribute(self):
+        with pytest.raises(InstructionSpecError, match="mnemonic"):
+            parse_instruction_pool(
+                '<instruction-pool isa="armv8"><instruction/>'
+                "</instruction-pool>"
+            )
+
+    def test_bad_register_count(self):
+        with pytest.raises(InstructionSpecError, match="integer"):
+            parse_instruction_pool(
+                '<instruction-pool isa="armv8">'
+                '<registers int="many"/>'
+                '<instruction mnemonic="add"/></instruction-pool>'
+            )
+
+    def test_nonpositive_register_count(self):
+        with pytest.raises(InstructionSpecError, match=">= 1"):
+            parse_instruction_pool(
+                '<instruction-pool isa="armv8">'
+                '<registers int="0"/>'
+                '<instruction mnemonic="add"/></instruction-pool>'
+            )
+
+
+class TestRoundTrip:
+    def test_render_and_reparse(self):
+        isa = parse_instruction_pool(VALID)
+        xml = render_instruction_pool(isa, "armv8")
+        isa2 = parse_instruction_pool(xml)
+        assert [s.mnemonic for s in isa2.specs] == [
+            s.mnemonic for s in isa.specs
+        ]
+        assert isa2.registers == isa.registers
+        assert isa2.memory_slots == isa.memory_slots
+
+    def test_load_from_file(self, tmp_path):
+        path = tmp_path / "pool.xml"
+        path.write_text(VALID)
+        isa = load_instruction_pool(path)
+        assert len(isa.specs) == 3

@@ -1,0 +1,120 @@
+"""Unit tests for GA operators."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.arm import ARM_ISA
+from repro.cpu.program import LoopProgram, random_program
+from repro.ga.operators import (
+    mutate,
+    one_point_crossover,
+    tournament_selection,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+@pytest.fixture
+def population(rng):
+    return [random_program(ARM_ISA, 20, rng) for _ in range(10)]
+
+
+class TestTournamentSelection:
+    def test_selects_fittest_of_contestants(self, population, rng):
+        fitnesses = list(range(10))
+        # with tournament size = population size, always picks the best
+        winner = tournament_selection(
+            population, fitnesses, rng, tournament_size=10
+        )
+        assert winner is population[9]
+
+    def test_mismatched_lengths_rejected(self, population, rng):
+        with pytest.raises(ValueError):
+            tournament_selection(population, [1.0], rng)
+
+    def test_empty_population_rejected(self, rng):
+        with pytest.raises(ValueError):
+            tournament_selection([], [], rng)
+
+    def test_selection_pressure(self, population, rng):
+        """Higher-fitness individuals win more often."""
+        fitnesses = list(range(10))
+        wins = [0] * 10
+        for _ in range(500):
+            winner = tournament_selection(
+                population, fitnesses, rng, tournament_size=3
+            )
+            wins[population.index(winner)] += 1
+        assert wins[9] > wins[0]
+        assert sum(wins[5:]) > sum(wins[:5])
+
+
+class TestCrossover:
+    def test_children_combine_parents(self, rng):
+        a = random_program(ARM_ISA, 20, rng, name="a")
+        b = random_program(ARM_ISA, 20, rng, name="b")
+        child_a, child_b = one_point_crossover(a, b, rng)
+        assert len(child_a) == len(child_b) == 20
+        # every child gene comes from one of the parents at its position
+        for i in range(20):
+            assert child_a.body[i] in (a.body[i], b.body[i])
+            assert child_b.body[i] in (a.body[i], b.body[i])
+
+    def test_children_are_complementary(self, rng):
+        a = random_program(ARM_ISA, 20, rng)
+        b = random_program(ARM_ISA, 20, rng)
+        child_a, child_b = one_point_crossover(a, b, rng)
+        for i in range(20):
+            pair = {child_a.body[i], child_b.body[i]}
+            assert pair == {a.body[i], b.body[i]}
+
+    def test_length_mismatch_rejected(self, rng):
+        a = random_program(ARM_ISA, 10, rng)
+        b = random_program(ARM_ISA, 20, rng)
+        with pytest.raises(ValueError):
+            one_point_crossover(a, b, rng)
+
+
+class TestMutation:
+    def test_zero_rate_is_identity(self, rng):
+        p = random_program(ARM_ISA, 30, rng)
+        assert mutate(p, rng, rate=0.0) is p
+
+    def test_full_rate_changes_most_genes(self, rng):
+        p = random_program(ARM_ISA, 50, rng)
+        mutated = mutate(p, rng, rate=1.0)
+        differing = sum(
+            1 for a, b in zip(p.body, mutated.body) if a != b
+        )
+        assert differing > 25
+
+    def test_typical_rate_changes_few_genes(self, rng):
+        p = random_program(ARM_ISA, 50, rng)
+        total_diff = 0
+        for seed in range(30):
+            m = mutate(p, np.random.default_rng(seed), rate=0.03)
+            total_diff += sum(
+                1 for a, b in zip(p.body, m.body) if a != b
+            )
+        # expectation: 50 * 0.03 = 1.5 per mutation pass
+        assert 0.3 < total_diff / 30 < 4.0
+
+    def test_invalid_rate_rejected(self, rng):
+        p = random_program(ARM_ISA, 10, rng)
+        with pytest.raises(ValueError):
+            mutate(p, rng, rate=1.5)
+
+    def test_mutation_respects_pool(self, rng):
+        pool = (ARM_ISA.spec("add"), ARM_ISA.spec("mul"))
+        p = random_program(ARM_ISA, 40, rng, pool=pool)
+        m = mutate(p, rng, rate=1.0, pool=pool)
+        assert {i.mnemonic for i in m.body} <= {"add", "mul"}
+
+    def test_mutated_program_is_valid(self, rng):
+        p = random_program(ARM_ISA, 40, rng)
+        m = mutate(p, rng, rate=0.5)
+        # reconstruction validates register/memory bounds
+        LoopProgram(isa=m.isa, body=m.body)

@@ -1,0 +1,59 @@
+"""Unit tests for loop-template source rendering."""
+
+import numpy as np
+
+from repro.cpu.arm import ARM_ISA
+from repro.cpu.program import program_from_mnemonics, random_program
+from repro.ga.templates import render_individual_source, used_registers
+
+
+class TestUsedRegisters:
+    def test_collects_dest_and_sources(self):
+        p = program_from_mnemonics(ARM_ISA, ["add"])
+        regs = used_registers(p)
+        from repro.cpu.isa import RegisterFile
+
+        instr = p.body[0]
+        expected = sorted({instr.dest, *instr.sources})
+        assert regs[RegisterFile.INT] == expected
+
+    def test_separate_register_files(self):
+        p = program_from_mnemonics(ARM_ISA, ["add", "fadd", "vmul"])
+        regs = used_registers(p)
+        from repro.cpu.isa import RegisterFile
+
+        assert regs[RegisterFile.INT]
+        assert regs[RegisterFile.FP]
+        assert regs[RegisterFile.VEC]
+
+
+class TestRenderSource:
+    def test_source_structure(self):
+        p = program_from_mnemonics(
+            ARM_ISA, ["add", "ldr", "fsqrt"], name="ind7"
+        )
+        src = render_individual_source(p)
+        assert "ind7" in src
+        assert ".data" in src and ".text" in src
+        assert "virus_loop:" in src
+        assert src.rstrip().endswith("b virus_loop")
+
+    def test_all_used_registers_initialized(self):
+        p = random_program(ARM_ISA, 30, np.random.default_rng(1))
+        src = render_individual_source(p)
+        for instr in p.body:
+            for reg in instr.sources:
+                prefix = {"int": "r", "fp": "f", "vec": "v"}[
+                    instr.spec.regfile.value
+                ]
+                assert f"init {prefix}{reg}," in src
+
+    def test_memory_buffer_sized_to_slots(self):
+        p = program_from_mnemonics(ARM_ISA, ["ldr"])
+        src = render_individual_source(p)
+        assert f".skip {ARM_ISA.memory_slots * 8}" in src
+
+    def test_custom_label(self):
+        p = program_from_mnemonics(ARM_ISA, ["add"])
+        src = render_individual_source(p, label="lp")
+        assert "lp:" in src and "b lp" in src

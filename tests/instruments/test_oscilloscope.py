@@ -1,0 +1,105 @@
+"""Unit tests for the oscilloscope / OC-DSO model."""
+
+import numpy as np
+import pytest
+
+from repro.instruments.oscilloscope import Oscilloscope, ScopeCapture
+from repro.pdn.models import PDNModel, CORTEX_A72_PDN
+
+
+@pytest.fixture(scope="module")
+def resonant_response():
+    solver = PDNModel(CORTEX_A72_PDN).solver(2)
+    n = 64
+    wave = np.where(np.arange(n) < n // 2, 1.5, 0.5)
+    return solver.solve(wave, n * 67e6)
+
+
+def quiet_scope(seed=1, **kw):
+    kw.setdefault("noise_rms_v", 0.0)
+    kw.setdefault("resolution_bits", 16)
+    return Oscilloscope(rng=np.random.default_rng(seed), **kw)
+
+
+class TestCapture:
+    def test_capture_length(self, resonant_response):
+        scope = quiet_scope()
+        cap = scope.capture(resonant_response, duration_s=1e-6)
+        assert cap.times_s.size == int(1e-6 * scope.sample_rate_hz)
+        assert cap.sample_rate_hz == pytest.approx(scope.sample_rate_hz)
+
+    def test_capture_reproduces_droop(self, resonant_response):
+        """Scope droop matches the solver's droop within noise/LSB."""
+        scope = quiet_scope()
+        cap = scope.capture(resonant_response, duration_s=2e-6)
+        assert cap.max_droop() == pytest.approx(
+            resonant_response.max_droop, rel=0.05
+        )
+
+    def test_capture_reproduces_p2p(self, resonant_response):
+        scope = quiet_scope()
+        cap = scope.capture(resonant_response, duration_s=2e-6)
+        assert cap.peak_to_peak() == pytest.approx(
+            resonant_response.peak_to_peak, rel=0.05
+        )
+
+    def test_quantization_steps(self, resonant_response):
+        scope = Oscilloscope(
+            resolution_bits=6,
+            noise_rms_v=0.0,
+            rng=np.random.default_rng(0),
+        )
+        cap = scope.capture(resonant_response, duration_s=0.5e-6)
+        lsb = scope.window_v / 2**6
+        offsets = (cap.volts - resonant_response.nominal_voltage) / lsb
+        assert np.allclose(offsets, np.round(offsets), atol=1e-9)
+
+    def test_noise_adds_spread(self, resonant_response):
+        noisy = Oscilloscope(
+            noise_rms_v=5e-3, rng=np.random.default_rng(2)
+        )
+        quiet = quiet_scope()
+        cap_noisy = noisy.capture(resonant_response, duration_s=1e-6)
+        cap_quiet = quiet.capture(resonant_response, duration_s=1e-6)
+        assert cap_noisy.peak_to_peak() > cap_quiet.peak_to_peak()
+
+
+class TestFFT:
+    def test_dominant_frequency_matches_excitation(self, resonant_response):
+        scope = quiet_scope()
+        cap = scope.capture(resonant_response, duration_s=4e-6)
+        dom = cap.dominant_frequency_hz((50e6, 200e6))
+        assert dom == pytest.approx(67e6, rel=0.03)
+
+    def test_band_without_bins_rejected(self, resonant_response):
+        scope = quiet_scope()
+        cap = scope.capture(resonant_response, duration_s=1e-6)
+        with pytest.raises(ValueError):
+            cap.dominant_frequency_hz((1.0, 2.0))
+
+    def test_fft_amplitude_calibration(self):
+        """A pure sine of known amplitude reads back correctly."""
+        fs = 1.6e9
+        t = np.arange(4096) / fs
+        v = 1.0 + 0.01 * np.sin(2 * np.pi * 50e6 * t)
+        cap = ScopeCapture(times_s=t, volts=v, nominal_voltage=1.0)
+        freqs, amps = cap.fft()
+        idx = np.argmin(np.abs(freqs - 50e6))
+        window = slice(max(0, idx - 2), idx + 3)
+        assert amps[window].max() == pytest.approx(0.01, rel=0.05)
+
+
+class TestMeasureHelpers:
+    def test_measure_wrappers(self, resonant_response):
+        scope = quiet_scope()
+        assert scope.measure_max_droop(resonant_response) > 0.0
+        assert scope.measure_peak_to_peak(resonant_response) > 0.0
+
+    def test_too_short_capture_rejected(self):
+        cap = ScopeCapture(
+            times_s=np.array([0.0]),
+            volts=np.array([1.0]),
+            nominal_voltage=1.0,
+        )
+        with pytest.raises(ValueError):
+            cap.sample_rate_hz

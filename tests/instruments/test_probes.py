@@ -1,0 +1,67 @@
+"""Unit tests for the Kelvin-pad differential probe."""
+
+import numpy as np
+import pytest
+
+from repro.instruments.oscilloscope import Oscilloscope
+from repro.instruments.probes import DifferentialProbe
+from repro.pdn.models import PDNModel, AMD_ATHLON_PDN
+
+
+@pytest.fixture(scope="module")
+def amd_response():
+    solver = PDNModel(AMD_ATHLON_PDN).solver(4)
+    n = 64
+    wave = np.where(np.arange(n) < n // 2, 4.0, 1.0)
+    return solver.solve(wave, n * 78e6)
+
+
+def quiet_probe(bandwidth_hz=1e9):
+    return DifferentialProbe(
+        bandwidth_hz=bandwidth_hz,
+        scope=Oscilloscope(
+            sample_rate_hz=4e9,
+            resolution_bits=16,
+            noise_rms_v=0.0,
+            rng=np.random.default_rng(0),
+        ),
+    )
+
+
+class TestDifferentialProbe:
+    def test_wideband_probe_preserves_noise(self, amd_response):
+        probe = quiet_probe(bandwidth_hz=10e9)
+        cap = probe.capture(amd_response, duration_s=2e-6)
+        assert cap.peak_to_peak() == pytest.approx(
+            amd_response.peak_to_peak, rel=0.05
+        )
+
+    def test_narrow_probe_attenuates(self, amd_response):
+        wide = quiet_probe(bandwidth_hz=10e9)
+        narrow = quiet_probe(bandwidth_hz=50e6)
+        p_wide = wide.capture(amd_response, duration_s=2e-6).peak_to_peak()
+        p_narrow = narrow.capture(
+            amd_response, duration_s=2e-6
+        ).peak_to_peak()
+        assert p_narrow < p_wide
+
+    def test_gain_applies_to_ac(self, amd_response):
+        half = DifferentialProbe(
+            gain=0.5,
+            bandwidth_hz=10e9,
+            scope=Oscilloscope(
+                sample_rate_hz=4e9,
+                resolution_bits=16,
+                noise_rms_v=0.0,
+                rng=np.random.default_rng(0),
+            ),
+        )
+        full = quiet_probe(bandwidth_hz=10e9)
+        p_half = half.capture(amd_response, duration_s=2e-6).peak_to_peak()
+        p_full = full.capture(amd_response, duration_s=2e-6).peak_to_peak()
+        assert p_half == pytest.approx(0.5 * p_full, rel=0.05)
+
+    def test_measure_helpers(self, amd_response):
+        probe = quiet_probe()
+        assert probe.measure_max_droop(amd_response) > 0.0
+        assert probe.measure_peak_to_peak(amd_response) > 0.0

@@ -1,0 +1,162 @@
+"""Unit tests for the spectrum analyzer model."""
+
+import numpy as np
+import pytest
+
+from repro.em.propagation import AmbientEnvironment
+from repro.em.radiation import EmissionSpectrum
+from repro.instruments.spectrum_analyzer import (
+    SpectrumAnalyzer,
+    dbm_to_watts,
+    watts_to_dbm,
+)
+
+
+def analyzer(seed=0, **kwargs):
+    return SpectrumAnalyzer(rng=np.random.default_rng(seed), **kwargs)
+
+
+def single_line(freq=100e6, amp=1e-3):
+    return EmissionSpectrum(np.array([freq]), np.array([amp]))
+
+
+class TestUnits:
+    def test_dbm_round_trip(self):
+        assert dbm_to_watts(float(watts_to_dbm(np.array(1e-6)))) == (
+            pytest.approx(1e-6)
+        )
+
+    def test_zero_watts_clamped(self):
+        assert watts_to_dbm(np.array(0.0)) > -210.0
+
+
+class TestConfiguration:
+    def test_invalid_span_rejected(self):
+        with pytest.raises(ValueError):
+            analyzer(start_hz=200e6, stop_hz=100e6)
+
+    def test_invalid_rbw_rejected(self):
+        with pytest.raises(ValueError):
+            analyzer(rbw_hz=0.0)
+
+    def test_bin_centers_cover_span(self):
+        sa = analyzer()
+        centers = sa.bin_centers()
+        assert centers[0] >= sa.start_hz
+        assert centers[-1] <= sa.stop_hz
+        assert centers.size == pytest.approx(
+            (sa.stop_hz - sa.start_hz) / sa.rbw_hz, abs=1
+        )
+
+
+class TestSweep:
+    def test_line_appears_at_correct_bin(self):
+        sa = analyzer()
+        trace = sa.sweep(single_line(freq=100e6))
+        peak_f, peak_dbm = trace.peak()
+        assert peak_f == pytest.approx(100e6, abs=2 * sa.rbw_hz)
+        assert peak_dbm > -60.0
+
+    def test_no_emission_shows_noise_floor(self):
+        sa = analyzer()
+        trace = sa.sweep(EmissionSpectrum(np.empty(0), np.empty(0)))
+        floor = sa.environment.noise_floor_dbm
+        assert np.median(trace.power_dbm) == pytest.approx(floor, abs=2.0)
+
+    def test_out_of_span_line_ignored(self):
+        sa = analyzer()
+        trace = sa.sweep(single_line(freq=1e9))
+        assert trace.power_dbm.max() < -80.0
+
+    def test_power_at_lookup(self):
+        sa = analyzer()
+        trace = sa.sweep(single_line(freq=120e6))
+        assert trace.power_at(120e6) == pytest.approx(
+            trace.peak()[1], abs=3.0
+        )
+
+    def test_banded_peak(self):
+        sa = analyzer()
+        two = EmissionSpectrum(
+            np.array([60e6, 150e6]), np.array([1e-3, 2e-3])
+        )
+        trace = sa.sweep(two)
+        f_low, _ = trace.peak(band=(50e6, 100e6))
+        assert f_low == pytest.approx(60e6, abs=2 * sa.rbw_hz)
+        with pytest.raises(ValueError):
+            trace.peak(band=(300e6, 400e6))
+
+
+class TestMaxAmplitude:
+    def test_stronger_line_scores_higher(self):
+        sa = analyzer()
+        weak = sa.max_amplitude(single_line(amp=0.5e-3), samples=10)
+        strong = sa.max_amplitude(single_line(amp=2e-3), samples=10)
+        assert strong > weak
+
+    def test_rms_metric_is_stable(self):
+        """30-sample RMS varies far less than single sweeps."""
+        sa = analyzer()
+        emission = single_line(amp=0.2e-4)
+        singles = [
+            sa.max_amplitude(emission, samples=1) for _ in range(20)
+        ]
+        rms30 = [
+            sa.max_amplitude(emission, samples=30) for _ in range(20)
+        ]
+        assert np.std(rms30) < np.std(singles)
+
+    def test_quadratic_in_field_amplitude(self):
+        """Power metric scales with the square of the field (Section 2.2)."""
+        sa = analyzer(environment=AmbientEnvironment(noise_floor_dbm=-160))
+        p1 = sa.max_amplitude(single_line(amp=1e-3), samples=4)
+        p2 = sa.max_amplitude(single_line(amp=2e-3), samples=4)
+        assert p2 / p1 == pytest.approx(4.0, rel=0.01)
+
+    def test_band_without_bins_rejected(self):
+        sa = analyzer()
+        with pytest.raises(ValueError):
+            sa.max_amplitude(single_line(), band=(1e9, 2e9))
+
+    def test_dbm_variant_consistent(self):
+        sa = analyzer()
+        emission = single_line()
+        w = sa.max_amplitude(emission, samples=5)
+        db = sa.max_amplitude_dbm(emission, samples=5)
+        assert db == pytest.approx(float(watts_to_dbm(np.array(w))), abs=1.5)
+
+
+class TestMeasurementTimeAccounting:
+    def test_sweep_time_proportional_to_bins(self):
+        sa = analyzer()
+        full = sa.sweep_time_s()
+        narrow = sa.sweep_time_s(band=(60e6, 75e6))
+        assert narrow < 0.2 * full
+        assert full == pytest.approx(
+            sa.bin_centers().size * sa.dwell_s_per_bin
+        )
+
+    def test_max_amplitude_accumulates_time(self):
+        sa = analyzer()
+        sa.max_amplitude(single_line(), samples=30)
+        full_each = sa.sweep_time_s()
+        assert sa.total_measurement_time_s == pytest.approx(
+            30 * full_each
+        )
+
+    def test_banded_measurement_is_cheaper(self):
+        sa_full = analyzer()
+        sa_full.max_amplitude(single_line(), samples=10)
+        sa_band = analyzer()
+        sa_band.max_amplitude(
+            single_line(), band=(90e6, 110e6), samples=10
+        )
+        assert sa_band.total_measurement_time_s < (
+            0.3 * sa_full.total_measurement_time_s
+        )
+
+    def test_paper_scale_measurement_latency(self):
+        """Full-span 30-sample measurement costs ~18 s (Section 3.2)."""
+        sa = analyzer()
+        sa.max_amplitude(single_line(), samples=30)
+        assert 10.0 < sa.total_measurement_time_s < 30.0

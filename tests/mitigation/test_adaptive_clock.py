@@ -1,0 +1,102 @@
+"""Unit tests for the adaptive-clocking mitigation model."""
+
+import numpy as np
+import pytest
+
+from repro.mitigation import (
+    AdaptiveClock,
+    AdaptiveClockConfig,
+    resonant_burst,
+)
+from repro.pdn.models import PDNModel, CORTEX_A72_PDN
+
+
+@pytest.fixture(scope="module")
+def pdn():
+    return PDNModel(CORTEX_A72_PDN)
+
+
+@pytest.fixture(scope="module")
+def burst(pdn):
+    return resonant_burst(
+        pdn, 2, base_a=1.0, swing_a=2.5, start_s=50e-9,
+        duration_s=3.0 / 67e6,
+    )
+
+
+def controller(pdn, cores=2, **kw):
+    kw.setdefault("trip_threshold_v", 0.02)
+    kw.setdefault("hold_s", 60e-9)
+    kw.setdefault("throttle_factor", 0.5)
+    return AdaptiveClock(pdn, cores, AdaptiveClockConfig(**kw))
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveClockConfig(trip_threshold_v=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveClockConfig(throttle_factor=0.0)
+        with pytest.raises(ValueError):
+            AdaptiveClockConfig(response_latency_s=-1.0)
+
+
+class TestResonantBurst:
+    def test_burst_shape(self, pdn, burst):
+        assert burst(0.0) == pytest.approx(1.0)
+        assert burst(1e-6) == pytest.approx(1.0)
+        inside = [burst(50e-9 + k * 1e-9) for k in range(40)]
+        assert max(inside) == pytest.approx(3.5)
+        assert min(inside) == pytest.approx(1.0)
+        assert burst.resonance_hz == pytest.approx(67e6, rel=0.02)
+
+
+class TestClosedLoop:
+    def test_disabled_controller_never_throttles(self, pdn, burst):
+        result = controller(pdn).run(burst, 200e-9, enabled=False)
+        assert result.throttle_fraction == 0.0
+        assert result.max_droop > 0.03
+
+    def test_mitigation_reduces_droop(self, pdn, burst):
+        ac = controller(pdn, response_latency_s=2e-9)
+        base = ac.run(burst, 200e-9, enabled=False)
+        mitigated = ac.run(burst, 200e-9, enabled=True)
+        assert mitigated.max_droop < base.max_droop - 0.010
+        assert mitigated.throttle_fraction > 0.0
+
+    def test_throttling_costs_performance(self, pdn, burst):
+        """The stretch is not free: cycles run slow while held."""
+        ac = controller(pdn, response_latency_s=2e-9)
+        result = ac.run(burst, 200e-9, enabled=True)
+        assert 0.05 < result.throttle_fraction < 0.9
+
+    def test_latency_degrades_mitigation(self, pdn, burst):
+        fast = controller(pdn, response_latency_s=0.0)
+        late = controller(pdn, response_latency_s=25e-9)
+        assert fast.improvement_v(burst, 220e-9) > (
+            late.improvement_v(burst, 220e-9) + 0.005
+        )
+
+    def test_quiet_load_never_trips(self, pdn):
+        ac = controller(pdn)
+        result = ac.run(lambda t: 1.0, 100e-9, enabled=True)
+        assert result.throttle_fraction == 0.0
+        assert result.max_droop < 0.02
+
+    def test_section6_gating_shrinks_latency_budget(self, pdn):
+        """Fewer powered cores (faster ring) tolerate less latency."""
+        def crit_latency(cores):
+            f = pdn.measured_resonance_hz(cores)
+            burst_c = resonant_burst(
+                pdn, cores, base_a=1.0, swing_a=2.5,
+                start_s=50e-9, duration_s=3.0 / f,
+            )
+            ac0 = controller(pdn, cores, response_latency_s=0.0)
+            ref = ac0.improvement_v(burst_c, 220e-9)
+            for lat in np.arange(24e-9, 4e-9, -2e-9):
+                ac = controller(pdn, cores, response_latency_s=lat)
+                if ac.improvement_v(burst_c, 220e-9) >= 0.5 * ref:
+                    return lat
+            return 0.0
+
+        assert crit_latency(1) < crit_latency(2)

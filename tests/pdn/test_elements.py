@@ -1,0 +1,61 @@
+"""Unit tests for circuit element definitions."""
+
+import pytest
+
+from repro.pdn.elements import (
+    Capacitor,
+    CurrentSource,
+    Inductor,
+    Resistor,
+    VoltageSource,
+)
+
+
+class TestElementValidation:
+    def test_resistor_requires_positive_resistance(self):
+        with pytest.raises(ValueError, match="resistance"):
+            Resistor("r1", "a", "b", resistance=0.0)
+        with pytest.raises(ValueError):
+            Resistor("r1", "a", "b", resistance=-1.0)
+
+    def test_capacitor_requires_positive_capacitance(self):
+        with pytest.raises(ValueError, match="capacitance"):
+            Capacitor("c1", "a", "b", capacitance=0.0)
+
+    def test_inductor_requires_positive_inductance(self):
+        with pytest.raises(ValueError, match="inductance"):
+            Inductor("l1", "a", "b", inductance=-1e-9)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError, match="itself"):
+            Resistor("r1", "a", "a", resistance=1.0)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="name"):
+            Resistor("", "a", "b", resistance=1.0)
+
+    def test_valid_elements_constructed(self):
+        r = Resistor("r1", "a", "0", resistance=2.0)
+        assert r.resistance == 2.0
+        c = Capacitor("c1", "a", "0", capacitance=1e-9)
+        assert c.capacitance == 1e-9
+        l = Inductor("l1", "a", "b", inductance=1e-12)
+        assert l.inductance == 1e-12
+        v = VoltageSource("v1", "a", "0", voltage=1.0)
+        assert v.voltage == 1.0
+
+
+class TestCurrentSource:
+    def test_constant_current(self):
+        s = CurrentSource("i1", "a", "0", current=2.5)
+        assert s.value_at(0.0) == 2.5
+        assert s.value_at(1.0) == 2.5
+
+    def test_time_varying_current(self):
+        s = CurrentSource("i1", "a", "0", current=lambda t: 3.0 * t)
+        assert s.value_at(0.0) == 0.0
+        assert s.value_at(2.0) == pytest.approx(6.0)
+
+    def test_waveform_returns_float(self):
+        s = CurrentSource("i1", "a", "0", current=lambda t: 1)
+        assert isinstance(s.value_at(0.5), float)

@@ -1,0 +1,103 @@
+"""Unit tests for AC impedance analysis."""
+
+import numpy as np
+import pytest
+
+from repro.pdn.impedance import (
+    analyze_ac,
+    dc_operating_point,
+    describe_elements,
+    input_impedance,
+    total_series_resistance,
+)
+from repro.pdn.elements import (
+    Capacitor,
+    CurrentSource,
+    Inductor,
+    Resistor,
+    VoltageSource,
+)
+from repro.pdn.netlist import Circuit
+from repro.pdn.models import PDNModel, CORTEX_A72_PDN
+
+
+def rc_circuit() -> Circuit:
+    c = Circuit("rc")
+    c.add(VoltageSource("v1", "in", "0", voltage=1.0))
+    c.add(Resistor("r1", "in", "out", resistance=10.0))
+    c.add(Capacitor("c1", "out", "0", capacitance=1e-9))
+    return c
+
+
+class TestAnalyzeAC:
+    def test_rejects_empty_frequency_grid(self):
+        with pytest.raises(ValueError):
+            analyze_ac(rc_circuit(), "out", [])
+
+    def test_rejects_unknown_node(self):
+        with pytest.raises(KeyError):
+            analyze_ac(rc_circuit(), "bogus", [1e6])
+
+    def test_impedance_shape_matches_grid(self):
+        z = input_impedance(rc_circuit(), "out", [1e3, 1e6, 1e9])
+        assert z.shape == (3,)
+        assert np.iscomplexobj(z)
+
+    def test_rc_rolloff(self):
+        """|Z| of R parallel C falls with frequency."""
+        z = np.abs(input_impedance(rc_circuit(), "out", [1e3, 1e7, 1e9]))
+        assert z[0] > z[1] > z[2]
+
+    def test_voltage_source_is_shorted_in_ac(self):
+        """At low frequency the cap is open, so Z -> R (source shorted)."""
+        z = input_impedance(rc_circuit(), "out", [1.0])
+        assert abs(z[0]) == pytest.approx(10.0, rel=1e-3)
+
+    def test_peak_frequency_banded(self):
+        m = PDNModel(CORTEX_A72_PDN)
+        freqs = np.linspace(10e6, 200e6, 400)
+        analysis = m.impedance_analysis(freqs, 2)
+        peak = analysis.peak_frequency_hz("die", (50e6, 200e6))
+        assert 60e6 < peak < 75e6
+        with pytest.raises(ValueError):
+            analysis.peak_frequency_hz("die", (1e3, 2e3))
+
+
+class TestDCOperatingPoint:
+    def test_divider_operating_point(self):
+        c = Circuit()
+        c.add(VoltageSource("v1", "in", "0", voltage=3.0))
+        c.add(Resistor("r1", "in", "mid", resistance=1.0))
+        c.add(Resistor("r2", "mid", "0", resistance=2.0))
+        op = dc_operating_point(c)
+        assert op["in"] == pytest.approx(3.0)
+        assert op["mid"] == pytest.approx(2.0)
+
+    def test_constant_load_drops_rail(self):
+        c = Circuit()
+        c.add(VoltageSource("v1", "in", "0", voltage=1.0))
+        c.add(Resistor("r1", "in", "die", resistance=0.01))
+        c.add(CurrentSource("iload", "die", "0", current=2.0))
+        op = dc_operating_point(c)
+        assert op["die"] == pytest.approx(1.0 - 0.02)
+
+    def test_pdn_die_sits_at_nominal_minus_ir(self):
+        m = PDNModel(CORTEX_A72_PDN)
+        circuit = m.build_circuit(2)
+        op = dc_operating_point(circuit)
+        assert op["die"] == pytest.approx(CORTEX_A72_PDN.nominal_voltage)
+
+
+class TestSeriesResistance:
+    def test_total_series_resistance_positive_and_small(self):
+        m = PDNModel(CORTEX_A72_PDN)
+        r = total_series_resistance(m.build_circuit(2), "die")
+        assert 0.0 < r < 0.05  # a few milliohms
+
+
+class TestDescribe:
+    def test_describe_lists_all_elements(self):
+        c = rc_circuit()
+        text = describe_elements(c)
+        assert "v1" in text and "r1" in text and "c1" in text
+        assert "10 ohm" in text

@@ -1,0 +1,40 @@
+"""Unit tests for the AMD desktop model."""
+
+import pytest
+
+from repro.platforms.amd import make_amd_desktop
+from repro.platforms.base import NoiseVisibility
+
+
+class TestDesktopComposition:
+    def test_spec_matches_table1(self, amd_desktop):
+        spec = amd_desktop.cpu.spec
+        assert spec.num_cores == 4
+        assert spec.nominal_clock_hz == 3.1e9
+        assert spec.nominal_voltage == 1.4
+        assert spec.technology_nm == 45
+        assert spec.isa.name == "x86-64"
+        assert spec.visibility is NoiseVisibility.KELVIN_PADS
+        assert not spec.has_scl
+
+    def test_probe_available(self, amd_desktop):
+        assert amd_desktop.probe is not None
+
+
+class TestOverdrive:
+    def test_overdrive_voltage_control(self, amd_desktop):
+        amd_desktop.overdrive.set_cpu_voltage(1.35)
+        assert amd_desktop.cpu.voltage == pytest.approx(1.35)
+        amd_desktop.overdrive.reset_defaults()
+        assert amd_desktop.cpu.voltage == pytest.approx(1.4)
+
+    def test_overdrive_frequency_control(self, amd_desktop):
+        amd_desktop.overdrive.set_cpu_frequency(3.0e9)
+        assert amd_desktop.cpu.clock_hz == 3.0e9
+        amd_desktop.overdrive.reset_defaults()
+
+    def test_fresh_desktops_isolated(self):
+        d1 = make_amd_desktop()
+        d2 = make_amd_desktop()
+        d1.overdrive.set_cpu_voltage(1.3)
+        assert d2.cpu.voltage == pytest.approx(1.4)

@@ -1,0 +1,96 @@
+"""Unit tests for the GPU platform extension."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.isa import InstructionClass
+from repro.pdn.models import PDNModel
+from repro.platforms.base import NoiseVisibility
+from repro.platforms.gpu import GPU_ISA, GPU_PDN, make_gpu_card
+from repro.workloads.loops import high_low_program
+
+
+@pytest.fixture
+def gpu():
+    card = make_gpu_card()
+    return card.gpu
+
+
+class TestGPUISA:
+    def test_wide_vector_ops_carry_large_energy(self):
+        """32 lanes switching together dwarf the scalar path."""
+        v = GPU_ISA.spec("v_fma32").energy
+        s = GPU_ISA.spec("s_add").energy
+        assert v > 10 * s
+
+    def test_has_nonpipelined_stall_op(self):
+        rcp = GPU_ISA.spec("v_rcp32")
+        assert rcp.recip_throughput == rcp.latency > 1
+
+    def test_class_coverage(self):
+        classes = {s.iclass for s in GPU_ISA.specs}
+        assert InstructionClass.SIMD in classes
+        assert InstructionClass.MEM in classes
+        assert InstructionClass.BRANCH in classes
+
+
+class TestGPUPDN:
+    def test_resonance_calibration(self):
+        model = PDNModel(GPU_PDN)
+        assert model.measured_resonance_hz(8) == pytest.approx(
+            55e6, rel=0.03
+        )
+        assert model.measured_resonance_hz(1) == pytest.approx(
+            90e6, rel=0.03
+        )
+
+    def test_gpu_resonates_below_cpu_clusters(self):
+        """More die capacitance on the GPU rail -> lower resonance."""
+        from repro.pdn.models import CORTEX_A72_PDN
+
+        gpu_f = PDNModel(GPU_PDN).measured_resonance_hz(8)
+        a72_f = PDNModel(CORTEX_A72_PDN).measured_resonance_hz(2)
+        assert gpu_f < a72_f
+
+
+class TestGPUCluster:
+    def test_spec_shape(self, gpu):
+        assert gpu.spec.num_cores == 8
+        assert gpu.spec.visibility is NoiseVisibility.NONE
+        assert gpu.spec.isa.name == "gpu-simt"
+
+    def test_hilo_loop_reaches_above_resonance(self, gpu):
+        """The sweep loop must span past the 1-CU 90 MHz resonance."""
+        run = gpu.run(high_low_program(gpu.spec.isa))
+        assert run.loop_frequency_hz > 95e6
+
+    def test_methodology_transfers(self, gpu):
+        """EM sweep on the GPU finds its resonance -- unchanged API."""
+        from repro.core.characterizer import EMCharacterizer
+        from repro.core.resonance import ResonanceSweep
+        from repro.instruments.spectrum_analyzer import SpectrumAnalyzer
+
+        char = EMCharacterizer(
+            analyzer=SpectrumAnalyzer(rng=np.random.default_rng(5)),
+            samples=4,
+        )
+        sweep = ResonanceSweep(char, samples_per_point=3)
+        clocks = [1.0e9 - k * 25e6 for k in range(0, 32)]
+        result = sweep.run(gpu, clocks_hz=clocks)
+        assert result.resonance_hz() == pytest.approx(55e6, abs=6e6)
+
+    def test_cu_power_gating_shifts_resonance(self, gpu):
+        from repro.core.characterizer import EMCharacterizer
+        from repro.core.resonance import ResonanceSweep
+        from repro.instruments.spectrum_analyzer import SpectrumAnalyzer
+
+        char = EMCharacterizer(
+            analyzer=SpectrumAnalyzer(rng=np.random.default_rng(6)),
+            samples=4,
+        )
+        sweep = ResonanceSweep(char, samples_per_point=3)
+        clocks = [1.0e9 - k * 25e6 for k in range(0, 32)]
+        results = sweep.power_gating_study(
+            gpu, core_counts=(8, 1), clocks_hz=clocks
+        )
+        assert results[1].resonance_hz() > results[0].resonance_hz()

@@ -1,0 +1,66 @@
+"""Unit tests for the Juno board model."""
+
+import pytest
+
+from repro.platforms.base import NoiseVisibility
+from repro.platforms.juno import make_juno_board
+
+
+class TestBoardComposition:
+    def test_cluster_specs_match_table1(self, juno_board):
+        a72 = juno_board.a72.spec
+        assert a72.num_cores == 2
+        assert a72.nominal_clock_hz == 1.2e9
+        assert a72.nominal_voltage == 1.0
+        assert a72.technology_nm == 16
+        assert a72.visibility is NoiseVisibility.OC_DSO
+        a53 = juno_board.a53.spec
+        assert a53.num_cores == 4
+        assert a53.nominal_clock_hz == 0.95e9
+        assert a53.visibility is NoiseVisibility.NONE
+
+    def test_a72_has_scl_a53_does_not(self, juno_board):
+        assert juno_board.a72.spec.has_scl
+        assert not juno_board.a53.spec.has_scl
+
+    def test_clusters_mapping(self, juno_board):
+        assert set(juno_board.clusters) == {"cortex-a72", "cortex-a53"}
+
+    def test_microarchitectures(self, juno_board):
+        assert juno_board.a72.spec.microarchitecture == "out-of-order"
+        assert juno_board.a53.spec.microarchitecture == "in-order"
+
+
+class TestSCP:
+    def test_scp_controls_frequency(self, juno_board):
+        juno_board.scp.set_frequency("cortex-a72", 1.0e9)
+        assert juno_board.a72.clock_hz == 1.0e9
+        juno_board.scp.reset()
+        assert juno_board.a72.clock_hz == 1.2e9
+
+    def test_scp_controls_voltage_and_gating(self, juno_board):
+        juno_board.scp.set_voltage("cortex-a53", 0.9)
+        juno_board.scp.power_gate("cortex-a53", 2)
+        assert juno_board.a53.voltage == 0.9
+        assert juno_board.a53.powered_cores == 2
+        juno_board.scp.reset()
+
+    def test_unknown_cluster_raises(self, juno_board):
+        with pytest.raises(KeyError):
+            juno_board.scp.set_frequency("cortex-a99", 1e9)
+
+
+class TestSeparateVoltageDomains:
+    def test_pdn_models_are_independent(self, juno_board):
+        assert juno_board.a72.pdn is not juno_board.a53.pdn
+
+    def test_a72_gating_does_not_touch_a53(self, juno_board):
+        juno_board.a72.power_gate(1)
+        assert juno_board.a53.powered_cores == 4
+        juno_board.scp.reset()
+
+    def test_fresh_boards_are_isolated(self):
+        b1 = make_juno_board()
+        b2 = make_juno_board()
+        b1.a72.set_voltage(0.9)
+        assert b2.a72.voltage == 1.0

@@ -1,0 +1,47 @@
+"""Unit tests for the Table 1 registry."""
+
+import pytest
+
+from repro.platforms.base import NoiseVisibility
+from repro.platforms.registry import PLATFORM_TABLE, by_cpu, render_table
+
+
+class TestTable1:
+    def test_three_rows(self):
+        assert len(PLATFORM_TABLE) == 3
+
+    def test_row_contents_match_paper(self):
+        a72 = by_cpu("Cortex-A72")
+        assert a72.motherboard == "Juno Board R2"
+        assert a72.num_cores == 2
+        assert a72.isa == "ARM"
+        assert a72.nominal_clock_hz == pytest.approx(1.2e9)
+        assert a72.nominal_voltage == 1.0
+        assert a72.technology_nm == 16
+        assert a72.visibility is NoiseVisibility.OC_DSO
+
+        a53 = by_cpu("Cortex-A53")
+        assert a53.microarchitecture == "In-Order"
+        assert a53.nominal_clock_hz == pytest.approx(0.95e9)
+        assert a53.visibility is NoiseVisibility.NONE
+
+        amd = by_cpu("Athlon II X4 645")
+        assert amd.isa == "x86-64"
+        assert amd.nominal_clock_hz == pytest.approx(3.1e9)
+        assert amd.nominal_voltage == pytest.approx(1.4)
+        assert amd.technology_nm == 45
+        assert amd.operating_system == "Windows 8.1"
+        assert amd.visibility is NoiseVisibility.KELVIN_PADS
+
+    def test_case_insensitive_lookup(self):
+        assert by_cpu("cortex-a53").cpu == "Cortex-A53"
+
+    def test_unknown_cpu(self):
+        with pytest.raises(KeyError):
+            by_cpu("Pentium III")
+
+    def test_render_contains_all_rows(self):
+        text = render_table()
+        for row in PLATFORM_TABLE:
+            assert row.cpu in text
+        assert "OS" in text

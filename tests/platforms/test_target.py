@@ -1,0 +1,119 @@
+"""Unit tests for the workstation/target orchestration (Section 3.2)."""
+
+import pytest
+
+from repro.cpu.program import program_from_mnemonics
+from repro.cpu.x86 import X86_ISA
+from repro.platforms.target import (
+    SimulatedTarget,
+    TargetError,
+    Workstation,
+)
+
+
+@pytest.fixture
+def target(a72):
+    return SimulatedTarget(a72)
+
+
+@pytest.fixture
+def arm_loop(a72):
+    return program_from_mnemonics(a72.spec.isa, ["add"] * 8 + ["sdiv"])
+
+
+class TestCompile:
+    def test_compile_assigns_unique_ids(self, target, arm_loop):
+        b1 = target.compile(arm_loop)
+        b2 = target.compile(arm_loop)
+        assert b1.binary_id != b2.binary_id
+
+    def test_wrong_isa_fails_compilation(self, target):
+        x86_loop = program_from_mnemonics(
+            X86_ISA, ["add_rr"] * 4 + ["idiv_rr"]
+        )
+        with pytest.raises(TargetError, match="targets"):
+            target.compile(x86_loop)
+
+
+class TestRunKill:
+    def test_run_and_kill_lifecycle(self, target, arm_loop):
+        binary = target.compile(arm_loop)
+        run = target.run(binary)
+        assert target.running_count == 1
+        assert run.max_droop > 0.0
+        target.kill(binary)
+        assert target.running_count == 0
+
+    def test_kill_is_idempotent(self, target, arm_loop):
+        binary = target.compile(arm_loop)
+        target.run(binary)
+        target.kill(binary)
+        target.kill(binary)
+        assert target.running_count == 0
+
+
+class TestWorkstation:
+    def test_evaluate_full_sequence(self, target, arm_loop):
+        log = []
+        station = Workstation(
+            target=target,
+            measure=lambda run: run.max_droop,
+            log=log.append,
+        )
+        score = station.evaluate(arm_loop)
+        assert score > 0.0
+        assert target.running_count == 0  # killed after measuring
+        assert len(log) == 1
+
+    def test_evaluate_kills_on_measurement_error(self, target, arm_loop):
+        def broken(run):
+            raise RuntimeError("instrument timeout")
+
+        station = Workstation(target=target, measure=broken)
+        with pytest.raises(RuntimeError):
+            station.evaluate(arm_loop)
+        assert target.running_count == 0
+
+
+class TestWorkstationRetries:
+    def test_transient_failure_retried(self, target, arm_loop):
+        from repro.platforms.target import MeasurementError
+
+        attempts = {"count": 0}
+
+        def flaky(run):
+            attempts["count"] += 1
+            if attempts["count"] < 3:
+                raise MeasurementError("GPIB timeout")
+            return run.max_droop
+
+        station = Workstation(target=target, measure=flaky, retries=3)
+        score = station.evaluate(arm_loop)
+        assert score > 0.0
+        assert attempts["count"] == 3
+        assert target.running_count == 0
+
+    def test_exhausted_retries_raise(self, target, arm_loop):
+        from repro.platforms.target import MeasurementError
+
+        def always_fails(run):
+            raise MeasurementError("antenna unplugged")
+
+        station = Workstation(
+            target=target, measure=always_fails, retries=1
+        )
+        with pytest.raises(MeasurementError, match="2 attempts"):
+            station.evaluate(arm_loop)
+        assert target.running_count == 0
+
+    def test_programming_errors_not_retried(self, target, arm_loop):
+        attempts = {"count": 0}
+
+        def broken(run):
+            attempts["count"] += 1
+            raise TypeError("bad handler")
+
+        station = Workstation(target=target, measure=broken, retries=5)
+        with pytest.raises(TypeError):
+            station.evaluate(arm_loop)
+        assert attempts["count"] == 1

@@ -1,0 +1,90 @@
+"""Property-based tests on the CPU pipeline and current models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu.arm import ARM_ISA
+from repro.cpu.current import CurrentModel
+from repro.cpu.pipeline import InOrderPipeline, OutOfOrderPipeline
+from repro.cpu.program import random_program
+
+program_seeds = st.integers(min_value=0, max_value=10_000)
+lengths = st.integers(min_value=2, max_value=60)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=program_seeds, length=lengths)
+def test_steady_schedule_exists_for_any_program(seed, length):
+    """Every valid program reaches a periodic steady state."""
+    program = random_program(
+        ARM_ISA, length, np.random.default_rng(seed)
+    )
+    schedule = InOrderPipeline(width=2).steady_schedule(program)
+    assert schedule.cycles >= 1
+    assert 0.0 < schedule.ipc <= 2.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=program_seeds, length=lengths)
+def test_ooo_never_slower_than_in_order(seed, length):
+    """With equal width/units, OoO throughput >= in-order throughput."""
+    program = random_program(
+        ARM_ISA, length, np.random.default_rng(seed)
+    )
+    io = InOrderPipeline(width=2).steady_schedule(program)
+    ooo = OutOfOrderPipeline(width=2, window=48, rob_size=96).steady_schedule(
+        program
+    )
+    # Schedules may cover different super-periods; compare throughput
+    # (cycles per instruction) rather than raw period lengths.
+    io_cpi = io.cycles / len(io.program)
+    ooo_cpi = ooo.cycles / len(ooo.program)
+    assert ooo_cpi <= io_cpi * 1.05 + 0.26
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=program_seeds)
+def test_ipc_bounded_by_width(seed):
+    program = random_program(ARM_ISA, 40, np.random.default_rng(seed))
+    for width in (1, 2, 3):
+        schedule = InOrderPipeline(width=width).steady_schedule(program)
+        assert schedule.ipc <= width + 1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=program_seeds, length=lengths)
+def test_current_trace_conserves_charge(seed, length):
+    """Sum of (trace - base) equals total instruction energy."""
+    program = random_program(
+        ARM_ISA, length, np.random.default_rng(seed)
+    )
+    schedule = InOrderPipeline(width=2).steady_schedule(program)
+    model = CurrentModel(
+        base_current_a=0.25, amps_per_energy=1.0, frontend_energy=0.2,
+        smoothing_cycles=4,
+    )
+    trace = model.trace(schedule)
+    charge = float(np.sum(trace - model.base_current_a))
+    expected = sum(i.spec.energy + 0.2 for i in program.body)
+    assert charge == pytest.approx(expected, rel=1e-6)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=program_seeds)
+def test_trace_is_nonnegative_and_finite(seed):
+    program = random_program(ARM_ISA, 30, np.random.default_rng(seed))
+    schedule = OutOfOrderPipeline().steady_schedule(program)
+    trace = CurrentModel().trace(schedule)
+    assert np.isfinite(trace).all()
+    assert (trace > 0.0).all()
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=program_seeds)
+def test_schedule_deterministic(seed):
+    program = random_program(ARM_ISA, 30, np.random.default_rng(seed))
+    s1 = InOrderPipeline(width=2).steady_schedule(program)
+    s2 = InOrderPipeline(width=2).steady_schedule(program)
+    assert s1.cycles == s2.cycles
+    assert np.array_equal(s1.issue_offsets, s2.issue_offsets)

@@ -1,0 +1,80 @@
+"""Property-based tests on the GA operators' structural invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu.arm import ARM_ISA
+from repro.cpu.program import LoopProgram, random_program
+from repro.ga.operators import (
+    mutate,
+    one_point_crossover,
+    tournament_selection,
+)
+
+seeds = st.integers(min_value=0, max_value=10_000)
+lengths = st.integers(min_value=2, max_value=60)
+rates = st.floats(min_value=0.0, max_value=1.0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=seeds, length=lengths)
+def test_crossover_preserves_length_and_validity(seed, length):
+    rng = np.random.default_rng(seed)
+    a = random_program(ARM_ISA, length, rng)
+    b = random_program(ARM_ISA, length, rng)
+    ca, cb = one_point_crossover(a, b, rng)
+    assert len(ca) == len(cb) == length
+    # reconstruction revalidates register and memory bounds
+    LoopProgram(isa=ca.isa, body=ca.body)
+    LoopProgram(isa=cb.isa, body=cb.body)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=seeds, length=lengths)
+def test_crossover_children_complementary(seed, length):
+    """At every gene position children carry the two parents' genes."""
+    rng = np.random.default_rng(seed)
+    a = random_program(ARM_ISA, length, rng)
+    b = random_program(ARM_ISA, length, rng)
+    ca, cb = one_point_crossover(a, b, rng)
+    for i in range(length):
+        assert {ca.body[i], cb.body[i]} == {a.body[i], b.body[i]}
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=seeds, length=lengths, rate=rates)
+def test_mutation_preserves_length_and_validity(seed, length, rate):
+    rng = np.random.default_rng(seed)
+    p = random_program(ARM_ISA, length, rng)
+    m = mutate(p, rng, rate=rate)
+    assert len(m) == length
+    LoopProgram(isa=m.isa, body=m.body)
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=seeds)
+def test_mutation_rate_zero_is_identity(seed):
+    rng = np.random.default_rng(seed)
+    p = random_program(ARM_ISA, 30, rng)
+    assert mutate(p, rng, rate=0.0) is p
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=seeds, k=st.integers(min_value=1, max_value=12))
+def test_tournament_winner_is_member(seed, k):
+    rng = np.random.default_rng(seed)
+    pop = [random_program(ARM_ISA, 10, rng) for _ in range(8)]
+    fits = list(rng.random(8))
+    winner = tournament_selection(pop, fits, rng, tournament_size=k)
+    assert winner in pop
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=seeds)
+def test_tournament_full_size_returns_best(seed):
+    rng = np.random.default_rng(seed)
+    pop = [random_program(ARM_ISA, 10, rng) for _ in range(6)]
+    fits = list(rng.random(6))
+    winner = tournament_selection(pop, fits, rng, tournament_size=6)
+    assert winner is pop[int(np.argmax(fits))]

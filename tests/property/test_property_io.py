@@ -1,0 +1,68 @@
+"""Property-based round-trip tests for serialization layers."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.cpu.arm import ARM_ISA
+from repro.cpu.x86 import X86_ISA
+from repro.cpu.program import random_program
+from repro.ga.instruction_spec import (
+    parse_instruction_pool,
+    render_instruction_pool,
+)
+from repro.io.serialization import program_from_dict, program_to_dict
+
+seeds = st.integers(min_value=0, max_value=100_000)
+lengths = st.integers(min_value=1, max_value=80)
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=seeds, length=lengths, arm=st.booleans())
+def test_program_json_round_trip(seed, length, arm):
+    """Every generatable program survives the JSON round trip exactly."""
+    isa = ARM_ISA if arm else X86_ISA
+    program = random_program(isa, length, np.random.default_rng(seed))
+    loaded = program_from_dict(program_to_dict(program))
+    assert loaded.genome() == program.genome()
+    assert loaded.assembly() == program.assembly()
+    assert loaded.isa.registers == program.isa.registers
+    assert loaded.isa.memory_slots == program.isa.memory_slots
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    seed=seeds,
+    n_instr=st.integers(min_value=1, max_value=len(ARM_ISA.specs)),
+    int_regs=st.integers(min_value=1, max_value=31),
+    slots=st.integers(min_value=1, max_value=512),
+)
+def test_instruction_pool_xml_round_trip(seed, n_instr, int_regs, slots):
+    """Arbitrary instruction pools survive the XML round trip."""
+    rng = np.random.default_rng(seed)
+    chosen = rng.choice(
+        [s.mnemonic for s in ARM_ISA.specs], size=n_instr, replace=False
+    )
+    instr_lines = "".join(
+        f'<instruction mnemonic="{m}"/>' for m in chosen
+    )
+    xml = (
+        f'<instruction-pool isa="armv8">'
+        f'<registers int="{int_regs}"/>'
+        f'<memory slots="{slots}"/>'
+        f"{instr_lines}</instruction-pool>"
+    )
+    isa = parse_instruction_pool(xml)
+    isa2 = parse_instruction_pool(render_instruction_pool(isa, "armv8"))
+    assert [s.mnemonic for s in isa2.specs] == list(chosen)
+    assert isa2.registers == isa.registers
+    assert isa2.memory_slots == slots
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=seeds, length=st.integers(min_value=1, max_value=50))
+def test_serialized_program_is_json_stable(seed, length):
+    """Serializing twice yields identical dictionaries (no hidden state)."""
+    program = random_program(
+        ARM_ISA, length, np.random.default_rng(seed)
+    )
+    assert program_to_dict(program) == program_to_dict(program)

@@ -1,0 +1,83 @@
+"""Property-based tests on the PDN solvers (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.pdn.models import PDNModel, CORTEX_A72_PDN
+
+SOLVER = PDNModel(CORTEX_A72_PDN).solver(2)
+
+loads = hnp.arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=8, max_value=200),
+    elements=st.floats(min_value=0.0, max_value=10.0),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(wave=loads)
+def test_droop_never_negative_for_nonnegative_load(wave):
+    """A load that only draws current can only pull the rail down."""
+    resp = SOLVER.solve(wave, 1.2e9)
+    assert resp.max_droop >= -1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(wave=loads)
+def test_peak_to_peak_bounds_droop_variation(wave):
+    """max droop <= IR(DC) + p2p: the dip can't exceed mean drop plus swing."""
+    resp = SOLVER.solve(wave, 1.2e9)
+    mean_drop = resp.nominal_voltage - float(np.mean(resp.die_voltage))
+    assert resp.max_droop <= mean_drop + resp.peak_to_peak + 1e-12
+
+
+@settings(max_examples=40, deadline=None)
+@given(wave=loads, scale=st.floats(min_value=0.1, max_value=5.0))
+def test_linearity_under_scaling(wave, scale):
+    """Scaling the load scales the deviation exactly (linear network)."""
+    base = SOLVER.solve(wave, 1.2e9)
+    scaled = SOLVER.solve(wave * scale, 1.2e9)
+    dev_base = base.die_voltage - base.nominal_voltage
+    dev_scaled = scaled.die_voltage - scaled.nominal_voltage
+    assert np.allclose(dev_scaled, scale * dev_base, atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(wave=loads, shift=st.integers(min_value=0, max_value=100))
+def test_time_shift_invariance(wave, shift):
+    """Rolling a periodic load rolls the response, preserving metrics."""
+    a = SOLVER.solve(wave, 1.2e9)
+    b = SOLVER.solve(np.roll(wave, shift), 1.2e9)
+    assert a.max_droop == pytest.approx(b.max_droop, abs=1e-9)
+    assert a.peak_to_peak == pytest.approx(b.peak_to_peak, abs=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(wave=loads, offset=st.floats(min_value=0.0, max_value=5.0))
+def test_dc_offset_adds_pure_ir_drop(wave, offset):
+    """Adding DC to the load deepens the droop by exactly IR."""
+    a = SOLVER.solve(wave, 1.2e9)
+    b = SOLVER.solve(wave + offset, 1.2e9)
+    z_dc = a.max_droop - (
+        a.nominal_voltage - float(np.mean(a.die_voltage))
+    )
+    ir_delta = b.max_droop - a.max_droop
+    assert b.peak_to_peak == pytest.approx(a.peak_to_peak, abs=1e-9)
+    assert ir_delta >= -1e-9
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=2),
+)
+def test_mean_die_current_conservation(n):
+    """DC current is conserved through the network for any gating state."""
+    solver = PDNModel(CORTEX_A72_PDN).solver(n)
+    rng = np.random.default_rng(n)
+    wave = rng.random(64) * 3.0
+    resp = solver.solve(wave, 1.2e9)
+    assert float(np.mean(resp.die_current)) == pytest.approx(
+        float(np.mean(wave)), rel=1e-6
+    )

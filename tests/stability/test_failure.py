@@ -1,0 +1,90 @@
+"""Unit tests for the critical-voltage failure model."""
+
+import numpy as np
+import pytest
+
+from repro.stability.failure import (
+    FAILURE_PRESETS,
+    CriticalVoltageModel,
+    Outcome,
+    failure_model_for,
+)
+
+
+@pytest.fixture
+def model():
+    return CriticalVoltageModel(
+        v_crit_ref=0.8, f_ref_hz=1.0e9, jitter_sigma_v=0.0
+    )
+
+
+class TestCriticalVoltage:
+    def test_v_crit_at_reference(self, model):
+        assert model.v_crit(1.0e9) == pytest.approx(0.8)
+
+    def test_v_crit_rises_with_clock(self, model):
+        assert model.v_crit(1.5e9) > model.v_crit(1.0e9)
+        assert model.v_crit(0.5e9) < model.v_crit(1.0e9)
+
+    def test_slope_units(self, model):
+        delta = model.v_crit(2.0e9) - model.v_crit(1.0e9)
+        assert delta == pytest.approx(model.slope_v_per_ghz)
+
+
+class TestClassification:
+    def test_deep_dip_crashes_system(self, model):
+        rng = np.random.default_rng(0)
+        outcome = model.classify(0.7, 1.0e9, rng)
+        assert outcome is Outcome.SYSTEM_CRASH
+
+    def test_safe_voltage_passes(self, model):
+        rng = np.random.default_rng(0)
+        assert model.classify(0.9, 1.0e9, rng) is Outcome.PASS
+
+    def test_sdc_window_above_crash(self, model):
+        """Dips inside the 10 mV window are SDC or app crash."""
+        rng = np.random.default_rng(0)
+        outcomes = {
+            model.classify(0.805, 1.0e9, rng) for _ in range(50)
+        }
+        assert outcomes <= {Outcome.SDC, Outcome.APP_CRASH}
+        assert outcomes  # at least one observed
+
+    def test_deviation_flag(self):
+        assert not Outcome.PASS.is_deviation
+        for o in (Outcome.SDC, Outcome.APP_CRASH, Outcome.SYSTEM_CRASH):
+            assert o.is_deviation
+
+    def test_jitter_blurs_threshold(self):
+        jittery = CriticalVoltageModel(
+            v_crit_ref=0.8, f_ref_hz=1e9, jitter_sigma_v=0.005
+        )
+        rng = np.random.default_rng(1)
+        outcomes = {
+            jittery.classify(0.8005, 1e9, rng) for _ in range(100)
+        }
+        assert Outcome.SYSTEM_CRASH in outcomes
+
+
+class TestPresets:
+    def test_presets_cover_all_platforms(self):
+        assert set(FAILURE_PRESETS) == {
+            "cortex-a72",
+            "cortex-a53",
+            "amd-athlon-ii-x4-645",
+        }
+
+    def test_lookup(self):
+        assert failure_model_for("cortex-a72").f_ref_hz == 1.2e9
+        with pytest.raises(KeyError):
+            failure_model_for("m1")
+
+    def test_calibration_leaves_margin_below_nominal(self):
+        """v_crit sits well below each platform's nominal voltage."""
+        nominal = {
+            "cortex-a72": 1.0,
+            "cortex-a53": 1.0,
+            "amd-athlon-ii-x4-645": 1.4,
+        }
+        for name, model in FAILURE_PRESETS.items():
+            assert model.v_crit(model.f_ref_hz) < nominal[name] - 0.1

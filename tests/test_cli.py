@@ -1,0 +1,105 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main, resolve_cluster
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_platform_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "--platform", "m1"])
+
+
+class TestResolve:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("a72", "cortex-a72"),
+            ("a53", "cortex-a53"),
+            ("amd", "amd-athlon-ii-x4-645"),
+            ("gpu", "gpu-8cu"),
+        ],
+    )
+    def test_resolve_cluster(self, name, expected):
+        assert resolve_cluster(name).name == expected
+
+    def test_unknown_platform(self):
+        with pytest.raises(ValueError):
+            resolve_cluster("sparc")
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Cortex-A72" in out and "Athlon" in out
+
+    def test_impedance(self, capsys):
+        assert main(
+            ["impedance", "--platform", "a72", "--points", "50"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "first-order resonance" in out
+        assert "67" in out
+
+    def test_sweep(self, capsys):
+        assert main(["sweep", "--platform", "a72", "--samples", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "first-order resonance" in out
+
+    def test_virus_to_stdout(self, capsys):
+        assert main(
+            [
+                "virus", "--platform", "a72",
+                "--population", "8", "--generations", "3",
+                "--loop-length", "16",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "virus for cortex-a72" in out
+        assert "b " in out  # assembly back-edge
+
+    def test_virus_archive_and_vmin(self, capsys, tmp_path):
+        assert main(
+            [
+                "virus", "--platform", "a72",
+                "--population", "8", "--generations", "3",
+                "--loop-length", "16", "--out", str(tmp_path),
+            ]
+        ) == 0
+        capsys.readouterr()
+        meta = tmp_path / "cortex-a72-em-amplitude.meta.json"
+        assert meta.exists()
+        assert main(
+            [
+                "vmin", "--platform", "a72",
+                "--workloads", "idle",
+                "--virus", str(meta),
+                "--virus-repeats", "2",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "idle" in out and "virus" in out
+
+    def test_vmin_unknown_workload(self, capsys):
+        assert main(
+            ["vmin", "--platform", "a72", "--workloads", "doom"]
+        ) == 2
+
+    def test_report(self, capsys):
+        assert main(
+            [
+                "report", "--platform", "a72",
+                "--population", "8", "--generations", "3",
+                "--no-vmin",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "# PDN characterization: cortex-a72" in out
+        assert "EM-driven dI/dt virus" in out
+        assert "V_MIN ladder" not in out

@@ -1,0 +1,43 @@
+"""Unit tests for the Section 5.3 high/low sweep loop."""
+
+import pytest
+
+from repro.cpu.arm import ARM_ISA
+from repro.cpu.x86 import X86_ISA
+from repro.cpu.isa import InstructionSet
+from repro.workloads.loops import high_low_loop, high_low_program
+
+
+class TestHighLowLoop:
+    def test_arm_loop_composition(self):
+        program = high_low_program(ARM_ISA)
+        mnemonics = [i.mnemonic for i in program.body]
+        assert mnemonics.count("add") == 8
+        assert mnemonics.count("sdiv") == 1
+
+    def test_x86_loop_composition(self):
+        program = high_low_program(X86_ISA)
+        mnemonics = [i.mnemonic for i in program.body]
+        assert mnemonics.count("add_rr") == 8
+        assert mnemonics.count("idiv_rr") == 1
+
+    def test_unknown_isa_rejected(self):
+        fake = InstructionSet(name="mips", specs=(ARM_ISA.spec("add"),))
+        with pytest.raises(ValueError):
+            high_low_loop(fake)
+
+    def test_paper_loop_timing_on_a72(self, a72):
+        """8 adds execute in 4 cycles, the div shades the rest; the
+        loop spans 8 cycles = 150 MHz at 1.2 GHz (Section 5.3)."""
+        run = a72.run(high_low_program(a72.spec.isa))
+        assert run.execution.loop_cycles == 8
+        assert run.loop_frequency_hz == pytest.approx(150e6)
+
+    def test_loop_has_visible_em_spike(self, a72, characterizer):
+        """The loop's purpose: a visible EM spike at the loop frequency."""
+        m = characterizer.measure(a72, high_low_program(a72.spec.isa))
+        from repro.instruments.spectrum_analyzer import watts_to_dbm
+        import numpy as np
+
+        floor = characterizer.analyzer.environment.noise_floor_dbm
+        assert float(watts_to_dbm(np.array(m.amplitude_w))) > floor + 10

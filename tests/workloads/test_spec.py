@@ -1,0 +1,102 @@
+"""Unit tests for the SPEC-like and desktop benchmark suites."""
+
+import pytest
+
+from repro.cpu.arm import ARM_ISA
+from repro.cpu.isa import InstructionClass
+from repro.cpu.x86 import X86_ISA
+from repro.workloads.desktop import DESKTOP_PROFILES, desktop_suite
+from repro.workloads.spec import (
+    SPEC_PROFILES,
+    build_profile_program,
+    spec_suite,
+    spec_workload,
+)
+
+
+class TestProfilePrograms:
+    def test_all_profiles_build_on_both_isas(self):
+        for isa in (ARM_ISA, X86_ISA):
+            for profile in SPEC_PROFILES:
+                program = build_profile_program(isa, profile)
+                assert len(program) == profile.loop_length
+
+    def test_program_deterministic(self):
+        p1 = build_profile_program(ARM_ISA, SPEC_PROFILES[0])
+        p2 = build_profile_program(ARM_ISA, SPEC_PROFILES[0])
+        assert p1.genome() == p2.genome()
+
+    def test_profiles_differ(self):
+        a = build_profile_program(ARM_ISA, SPEC_PROFILES[0])
+        b = build_profile_program(ARM_ISA, SPEC_PROFILES[1])
+        assert a.genome() != b.genome()
+
+    def test_weights_shape_mix(self):
+        """An FP-heavy profile yields an FP-heavy loop."""
+        namd = next(p for p in SPEC_PROFILES if p.name == "namd")
+        program = build_profile_program(ARM_ISA, namd)
+        mix = program.instruction_mix()
+        assert mix[InstructionClass.FLOAT] > 0.3
+
+    def test_divides_are_rare(self):
+        """Within-class weighting keeps div/sqrt at percent level."""
+        namd = next(p for p in SPEC_PROFILES if p.name == "namd")
+        program = build_profile_program(ARM_ISA, namd)
+        stalls = sum(
+            1 for i in program.body if i.spec.recip_throughput > 4
+        )
+        assert stalls / len(program) < 0.08
+
+    def test_grouped_profile_sorts_phases(self):
+        lbm = next(p for p in SPEC_PROFILES if p.name == "lbm")
+        assert lbm.grouped
+        program = build_profile_program(ARM_ISA, lbm)
+        classes = [i.spec.iclass for i in program.body]
+        mem_positions = [
+            k for k, c in enumerate(classes) if c is InstructionClass.MEM
+        ]
+        simd_positions = [
+            k for k, c in enumerate(classes) if c is InstructionClass.SIMD
+        ]
+        if mem_positions and simd_positions:
+            assert max(mem_positions) < min(simd_positions)
+
+
+class TestSuites:
+    def test_full_suite_names_unique(self):
+        suite = spec_suite(ARM_ISA)
+        names = [wl.name for wl in suite]
+        assert len(names) == len(set(names)) == len(SPEC_PROFILES)
+
+    def test_selected_suite(self):
+        suite = spec_suite(ARM_ISA, ["lbm", "mcf"])
+        assert [wl.name for wl in suite] == ["lbm", "mcf"]
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            spec_workload(ARM_ISA, "doom3")
+
+    def test_desktop_suite_on_x86(self):
+        suite = desktop_suite(X86_ISA)
+        assert {wl.name for wl in suite} == {
+            p.name for p in DESKTOP_PROFILES
+        }
+
+
+class TestDroopOrdering:
+    """The Fig. 10 structure: idle << typical SPEC < lbm."""
+
+    def test_lbm_is_noisiest_spec_member(self, a72):
+        droops = {}
+        for name in ("lbm", "gcc", "mcf", "omnetpp", "perlbench"):
+            droops[name] = spec_workload(a72.spec.isa, name).run(
+                a72
+            ).max_droop
+        assert droops["lbm"] == max(droops.values())
+
+    def test_idle_far_below_benchmarks(self, a72):
+        from repro.workloads.stress import idle_workload
+
+        idle = idle_workload().run(a72).max_droop
+        gcc = spec_workload(a72.spec.isa, "gcc").run(a72).max_droop
+        assert idle < 0.3 * gcc

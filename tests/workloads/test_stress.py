@@ -1,0 +1,89 @@
+"""Unit tests for stress/stability workloads."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.arm import ARM_ISA
+from repro.cpu.x86 import X86_ISA
+from repro.workloads.stress import (
+    amd_stability_test,
+    idle_workload,
+    prime95_like,
+)
+
+
+class TestSaturatingPrograms:
+    def test_prime95_avoids_stalling_ops(self):
+        wl = prime95_like(X86_ISA)
+        assert all(
+            i.spec.recip_throughput == 1 for i in wl.program.body
+        )
+
+    def test_prime95_is_simd_fp_only(self):
+        from repro.cpu.isa import InstructionClass
+
+        wl = prime95_like(ARM_ISA)
+        classes = {i.spec.iclass for i in wl.program.body}
+        assert classes <= {
+            InstructionClass.SIMD, InstructionClass.FLOAT,
+        }
+
+    def test_stability_test_includes_integer(self):
+        from repro.cpu.isa import InstructionClass
+
+        wl = amd_stability_test(X86_ISA)
+        classes = {i.spec.iclass for i in wl.program.body}
+        assert InstructionClass.INT_SHORT in classes
+
+
+class TestPowerVirusVsDIDTVirus:
+    """Fig. 18's punchline: power viruses draw much current but ring
+    little -- their min-voltage is IR-dominated."""
+
+    def test_prime95_high_current_low_ripple(self, athlon):
+        run = prime95_like(athlon.spec.isa).run(athlon)
+        # sustained power: deep IR droop...
+        assert run.max_droop > 0.03
+        # ...but small oscillation relative to it
+        assert run.peak_to_peak < run.max_droop
+
+    def test_resonant_hilo_out_rings_prime95(self, athlon):
+        """The 22-cycle hi/lo loop lands on the 78 MHz resonance at a
+        1.7 GHz clock and out-rings the saturated power virus."""
+        from repro.cpu.program import program_from_mnemonics
+        from repro.workloads.base import ProgramWorkload
+
+        p95_p2p = prime95_like(athlon.spec.isa).run(athlon).peak_to_peak
+        athlon.set_clock(1.7e9)
+        hilo = ProgramWorkload(
+            "hilo",
+            program_from_mnemonics(
+                athlon.spec.isa, ["add_rr"] * 8 + ["idiv_rr"]
+            ),
+            jitter_seed=None,
+        )
+        run = hilo.run(athlon)
+        assert 70e6 < run.cluster_run.loop_frequency_hz < 85e6
+        assert run.peak_to_peak > p95_p2p
+
+    def test_prime95_draws_more_mean_current_than_hilo(self, athlon):
+        from repro.cpu.program import program_from_mnemonics
+        from repro.workloads.base import ProgramWorkload
+
+        hilo = ProgramWorkload(
+            "hilo",
+            program_from_mnemonics(
+                athlon.spec.isa, ["add_rr"] * 8 + ["idiv_rr"]
+            ),
+            jitter_seed=None,
+        )
+        p95_current = prime95_like(athlon.spec.isa).run(
+            athlon
+        ).response.die_current.mean()
+        hilo_current = hilo.run(athlon).response.die_current.mean()
+        assert p95_current > hilo_current
+
+
+class TestIdle:
+    def test_idle_factory(self):
+        assert idle_workload().name == "idle"
