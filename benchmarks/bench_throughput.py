@@ -1,0 +1,237 @@
+"""Throughput benchmark for the vectorized evaluation kernels.
+
+Times the optimized kernels against their preserved ``*_reference``
+implementations and the parallel GA against its serial baseline, then
+writes the results to ``BENCH_eval_engine.json``:
+
+* ``schedule`` -- :meth:`Pipeline.execute` vs ``execute_reference``
+* ``trace`` -- :meth:`CurrentModel.trace` vs ``trace_reference``
+* ``combined`` -- the full schedule+trace evaluation path (the GA's
+  per-individual hot loop); target >= 5x
+* ``transient`` -- :meth:`TransientSolver.run` vs ``run_reference``
+* ``ga`` -- GA generation wall-clock at ``--workers`` vs serial;
+  target >= 2x at 4 workers *on a machine with >= 4 cores* (the JSON
+  records ``cpu_count`` so single-core CI numbers are interpretable)
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_throughput.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro.cpu.arm import ARM_ISA
+from repro.cpu.current import CurrentModel
+from repro.cpu.pipeline import InOrderPipeline, OutOfOrderPipeline
+from repro.cpu.program import LoopProgram, random_program
+from repro.ga.engine import GAConfig, GAEngine
+from repro.ga.fitness import FitnessEvaluation
+from repro.pdn.elements import CurrentSource
+from repro.pdn.models import CORTEX_A72_PDN, PDNModel
+from repro.pdn.transient import TransientSolver
+
+
+def _time(fn, repeats: int) -> float:
+    """Best-of-N wall-clock for one call of ``fn``."""
+    best = math.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _bench_pair(fast, slow, repeats: int) -> dict:
+    ref_s = _time(slow, repeats)
+    opt_s = _time(fast, repeats)
+    return {
+        "reference_s": ref_s,
+        "optimized_s": opt_s,
+        "speedup": ref_s / opt_s if opt_s > 0 else float("inf"),
+    }
+
+
+def bench_kernels(quick: bool) -> dict:
+    """Schedule + trace microbenchmarks (the GA's evaluation path)."""
+    rng = np.random.default_rng(7)
+    programs = [
+        random_program(ARM_ISA, 50, rng, name=f"bench{i}")
+        for i in range(2 if quick else 8)
+    ]
+    pipes = [OutOfOrderPipeline(), InOrderPipeline()]
+    model = CurrentModel()
+    iterations = 16
+    repeats = 3 if quick else 10
+
+    def run_execute(ref: bool):
+        for pipe in pipes:
+            for prog in programs:
+                if ref:
+                    pipe.execute_reference(prog, iterations)
+                else:
+                    pipe.execute(prog, iterations)
+
+    def run_trace(ref: bool):
+        for sched in schedules:
+            if ref:
+                model.trace_reference(sched)
+            else:
+                model.trace(sched)
+
+    def run_combined(ref: bool):
+        for pipe in pipes:
+            for prog in programs:
+                if ref:
+                    issue = pipe.execute_reference(prog, iterations)
+                    # steady_schedule itself is cheap bookkeeping; reuse
+                    # it so both paths share the extraction logic.
+                    sched = pipe.steady_schedule(prog, iterations)
+                    model.trace_reference(sched)
+                else:
+                    sched = pipe.steady_schedule(prog, iterations)
+                    model.trace(sched)
+
+    schedules = [
+        pipe.steady_schedule(prog, iterations)
+        for pipe in pipes
+        for prog in programs
+    ]
+    return {
+        "schedule": _bench_pair(
+            lambda: run_execute(False), lambda: run_execute(True), repeats
+        ),
+        "trace": _bench_pair(
+            lambda: run_trace(False), lambda: run_trace(True), repeats
+        ),
+        "combined": _bench_pair(
+            lambda: run_combined(False), lambda: run_combined(True), repeats
+        ),
+    }
+
+
+def bench_transient(quick: bool) -> dict:
+    """Transient solver on the Cortex-A72 PDN with a square-wave load."""
+    circuit = PDNModel(CORTEX_A72_PDN).build_circuit(powered_cores=2)
+    period = 1.0 / 80e6
+
+    def load(t: float) -> float:
+        return 2.0 if (t % period) < period / 2 else 0.5
+
+    circuit.add(CurrentSource("iload", "die", "0", current=load))
+    solver = TransientSolver(circuit, dt=0.25e-9)
+    duration = 100e-9 if quick else 400e-9
+    repeats = 2 if quick else 5
+    return _bench_pair(
+        lambda: solver.run(duration),
+        lambda: solver.run_reference(duration),
+        repeats,
+    )
+
+
+class _KernelFitness:
+    """Pure, picklable fitness: schedule + trace of the individual.
+
+    Stands in for the full measurement chain so the GA benchmark
+    isolates the dispatch overhead; module-level so worker processes
+    can unpickle it.
+    """
+
+    def __init__(self) -> None:
+        self._pipe = OutOfOrderPipeline()
+        self._model = CurrentModel()
+
+    def __call__(self, program: LoopProgram) -> FitnessEvaluation:
+        sched = self._pipe.steady_schedule(program, iterations=16)
+        trace = self._model.trace(sched)
+        score = float(np.ptp(trace))
+        return FitnessEvaluation(
+            score=score,
+            dominant_frequency_hz=0.0,
+            max_droop_v=0.0,
+            peak_to_peak_v=score,
+            ipc=len(sched.program.body) / sched.cycles,
+            loop_frequency_hz=0.0,
+        )
+
+
+def bench_ga(quick: bool, workers: int) -> dict:
+    """GA generation wall-clock: serial vs ``workers`` processes."""
+    base = dict(
+        population_size=16 if quick else 32,
+        generations=3 if quick else 6,
+        loop_length=40,
+        seed=11,
+    )
+    fitness = _KernelFitness()
+
+    def run(n: int) -> float:
+        engine = GAEngine(fitness, config=GAConfig(workers=n, **base))
+        t0 = time.perf_counter()
+        engine.run(ARM_ISA)
+        return time.perf_counter() - t0
+
+    serial_s = run(1)
+    parallel_s = run(workers)
+    return {
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "workers": workers,
+        "speedup": serial_s / parallel_s if parallel_s > 0 else float("inf"),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small problem sizes (CI smoke run)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4,
+        help="worker count for the GA benchmark",
+    )
+    parser.add_argument(
+        "--out", default=None,
+        help="output JSON path (default: <repo>/BENCH_eval_engine.json)",
+    )
+    args = parser.parse_args(argv)
+
+    out = Path(
+        args.out
+        or Path(__file__).resolve().parent.parent / "BENCH_eval_engine.json"
+    )
+    report = {
+        "benchmark": "eval_engine",
+        "quick": args.quick,
+        "cpu_count": os.cpu_count(),
+        "targets": {"combined_kernel_speedup": 5.0, "ga_speedup": 2.0},
+    }
+    print("benchmarking schedule/trace kernels ...", file=sys.stderr)
+    report.update(bench_kernels(args.quick))
+    print("benchmarking transient solver ...", file=sys.stderr)
+    report["transient"] = bench_transient(args.quick)
+    print(f"benchmarking GA at workers={args.workers} ...", file=sys.stderr)
+    report["ga"] = bench_ga(args.quick, args.workers)
+
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    for key in ("schedule", "trace", "combined", "transient", "ga"):
+        entry = report[key]
+        print(f"{key:>10}: {entry['speedup']:.2f}x")
+    print(f"report written to {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

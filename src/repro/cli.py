@@ -107,6 +107,7 @@ def cmd_virus(args) -> int:
         loop_length=args.loop_length,
         mutation_rate=args.mutation_rate,
         seed=args.seed,
+        workers=args.workers,
     )
     generator = VirusGenerator(
         cluster, make_characterizer(args.seed), config=config
@@ -200,6 +201,7 @@ def cmd_report(args) -> int:
         generations=args.generations,
         loop_length=50,
         seed=args.seed,
+        workers=args.workers,
     )
     report = characterize(
         cluster,
@@ -242,6 +244,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--loop-length", type=int, default=50)
     p.add_argument("--mutation-rate", type=float, default=0.03)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=1,
+                   help="fitness evaluation processes (1 = serial)")
     p.add_argument("--out", default=None, help="archive directory")
 
     p = sub.add_parser(
@@ -252,6 +256,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--generations", type=int, default=25)
     p.add_argument("--no-vmin", action="store_true")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workers", type=int, default=1,
+                   help="fitness evaluation processes (1 = serial)")
 
     p = sub.add_parser("vmin", help="progressive-undervolting V_MIN test")
     p.add_argument("--platform", choices=PLATFORM_CHOICES, required=True)

@@ -18,6 +18,7 @@ from repro.cpu.isa import InstructionSpec
 from repro.cpu.program import LoopProgram
 from repro.ga.engine import GAConfig, GAEngine, GenerationRecord
 from repro.ga.fitness import (
+    ClusterFitness,
     EMAmplitudeFitness,
     FitnessEvaluation,
     MaxDroopFitness,
@@ -128,7 +129,7 @@ class VirusGenerator:
             active_cores=self.active_cores,
         )
         return self._run_ga(
-            lambda program: fitness_fn(self.cluster, program),
+            ClusterFitness(fitness_fn, self.cluster),
             metric="em-amplitude",
             progress=progress,
         )
@@ -150,7 +151,7 @@ class VirusGenerator:
             oscilloscope=oscilloscope, active_cores=self.active_cores
         )
         return self._run_ga(
-            lambda program: fitness_fn(self.cluster, program),
+            ClusterFitness(fitness_fn, self.cluster),
             metric="oc-dso-droop",
             progress=progress,
         )
@@ -170,7 +171,7 @@ class VirusGenerator:
             probe=probe, active_cores=self.active_cores
         )
         return self._run_ga(
-            lambda program: fitness_fn(self.cluster, program),
+            ClusterFitness(fitness_fn, self.cluster),
             metric="kelvin-peak-to-peak",
             progress=progress,
         )

@@ -12,6 +12,12 @@ and leakage, and each issued instruction adds a small front-end
 The trace covers exactly one steady-state loop iteration and wraps
 charge that spills past the iteration boundary back to the start, so
 tiling the trace reproduces the true periodic waveform.
+
+The production :meth:`CurrentModel.trace` / ``window_trace`` deposit
+every charge packet with a single ``np.add.at`` scatter over the packed
+per-program arrays (:meth:`repro.cpu.program.LoopProgram.static_arrays`)
+and smooth with a circular convolution; the ``*_reference`` variants
+keep the per-instruction formulation as the golden reference.
 """
 
 from __future__ import annotations
@@ -48,6 +54,25 @@ class CurrentModel:
     def trace(self, schedule: Schedule) -> np.ndarray:
         """Per-cycle current (amperes) over one steady loop iteration."""
         cycles = schedule.cycles
+        st = schedule.program.static_arrays()
+        k = self.amps_per_energy
+        t0 = np.asarray(schedule.issue_offsets, dtype=np.int64)
+        trace = np.full(cycles, self.base_current_a, dtype=float)
+        # Energy packets: every instruction deposits energy/duration
+        # over its `recip_throughput` cycles, wrapped into the period.
+        idx = (np.repeat(t0, st.recip_arr) + st.deposit_offsets) % cycles
+        np.add.at(trace, idx, np.repeat(st.per_cycle_energy, st.recip_arr) * k)
+        # Front-end packet at each issue cycle.
+        np.add.at(
+            trace,
+            t0 % cycles,
+            np.full(t0.size, self.frontend_energy * k),
+        )
+        return self._smooth(trace)
+
+    def trace_reference(self, schedule: Schedule) -> np.ndarray:
+        """Per-instruction formulation of :meth:`trace` (golden reference)."""
+        cycles = schedule.cycles
         trace = np.full(cycles, self.base_current_a, dtype=float)
         k = self.amps_per_energy
         for instr, t0 in zip(
@@ -59,13 +84,24 @@ class CurrentModel:
             for c in range(duration):
                 trace[(t0 + c) % cycles] += per_cycle
             trace[t0 % cycles] += self.frontend_energy * k
-        return self._smooth(trace)
+        return self._smooth_reference(trace)
 
     def _smooth(self, trace: np.ndarray) -> np.ndarray:
         """Charge smoothing over a few cycles (pipeline overlap + local
         decoupling): single-cycle spikes are averaged away while
         multi-cycle high/low alternation -- the structure a dI/dt virus
         is built from -- passes through nearly unattenuated."""
+        w = self.smoothing_cycles
+        if w <= 1 or trace.size < 2:
+            return trace
+        # Circular moving average via one valid-mode convolution over a
+        # wrap-padded copy; `np.take(..., mode="wrap")` keeps traces
+        # shorter than the window correct.
+        pad = np.take(trace, np.arange(-(w - 1), trace.size), mode="wrap")
+        return np.convolve(pad, np.ones(w), mode="valid") / w
+
+    def _smooth_reference(self, trace: np.ndarray) -> np.ndarray:
+        """Index-matrix gather formulation of :meth:`_smooth`."""
         w = self.smoothing_cycles
         if w <= 1 or trace.size < 2:
             return trace
@@ -84,8 +120,28 @@ class CurrentModel:
         Used with :class:`repro.cpu.pipeline.WindowedSchedule` when
         cache-miss nondeterminism makes single-period extraction
         impossible.  Charge deposits land at absolute cycles; nothing
-        wraps (the window is long enough by construction).
+        wraps (the window is long enough by construction), and deposits
+        that would overrun the window end are truncated.
         """
+        cycles = windowed.cycles
+        st = windowed.program.static_arrays()
+        k = self.amps_per_energy
+        iterations = windowed.iterations
+        t0 = windowed.issue.reshape(-1).astype(np.int64)
+        reps = np.tile(st.recip_arr, iterations)
+        idx = np.repeat(t0, reps) + np.tile(st.deposit_offsets, iterations)
+        vals = np.tile(np.repeat(st.per_cycle_energy, st.recip_arr) * k,
+                       iterations)
+        keep = idx < cycles
+        trace = np.full(cycles, self.base_current_a, dtype=float)
+        np.add.at(trace, idx[keep], vals[keep])
+        np.add.at(
+            trace, t0, np.full(t0.size, self.frontend_energy * k)
+        )
+        return self._smooth(trace)
+
+    def window_trace_reference(self, windowed) -> np.ndarray:
+        """Per-instruction formulation of :meth:`window_trace`."""
         trace = np.full(windowed.cycles, self.base_current_a, dtype=float)
         k = self.amps_per_energy
         body = windowed.program.body
@@ -98,7 +154,7 @@ class CurrentModel:
                 end = min(t0 + duration, windowed.cycles)
                 trace[t0:end] += per_cycle
                 trace[t0] += self.frontend_energy * k
-        return self._smooth(trace)
+        return self._smooth_reference(trace)
 
 
 def loop_current_trace(

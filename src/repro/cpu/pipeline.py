@@ -146,6 +146,135 @@ class Pipeline:
         accesses beyond the L1-resident window miss with a randomized
         penalty drawn from ``memory_rng`` -- the timing nondeterminism
         the paper's virus template deliberately avoids.
+
+        This is the production kernel: it consumes the packed
+        per-instruction arrays from
+        :meth:`repro.cpu.program.LoopProgram.static_arrays` and keeps
+        all scheduler state in flat lists, so the inner loop performs no
+        attribute or ``(regfile, reg)``-dict lookups.  It is
+        cycle-exact against :meth:`execute_reference` (the readable
+        event-driven formulation), which the golden-equivalence tests
+        enforce.
+        """
+        if iterations < 2:
+            raise ValueError("need >= 2 iterations to find a steady state")
+        if cache is not None and memory_rng is None:
+            raise ValueError("cache model requires a memory_rng")
+        cfg = self.config
+        st = program.static_arrays()
+        n_body = len(program)
+
+        # Per-run mutable state, all flat lists (no dicts in the loop).
+        free: Dict[ExecutionUnit, List[int]] = {
+            unit: [0] * max(1, n) for unit, n in cfg.unit_counts.items()
+        }
+        for unit in ExecutionUnit:
+            free.setdefault(unit, [0])
+        reg_ready = [0] * st.num_registers
+        mem_ready = [0] * program.isa.memory_slots
+        n_dyn = iterations * n_body
+        issue_flat = [0] * n_dyn
+        complete = [0] * n_dyn
+        counts = [0] * 256  # issued-per-cycle table, extended on demand
+        n_counts = len(counts)
+
+        # One row of per-instruction statics, unpacked in a single step
+        # inside the hot loop instead of seven list-index operations.
+        rows = list(
+            zip(
+                st.sources,
+                st.latency,
+                st.recip,
+                st.touches_memory,
+                st.address,
+                st.dest,
+                [free[u] for u in st.units],
+            )
+        )
+        width = cfg.width
+        ooo = cfg.out_of_order
+        window = cfg.window
+        rob = cfg.rob_size
+
+        last_issue = -1  # most recent issue cycle (in-order constraint)
+        k = 0
+        for _ in range(iterations):
+            for srcs, lat, rt, tch, adr, dst, times in rows:
+                t = 0
+                for s in srcs:
+                    rs = reg_ready[s]
+                    if rs > t:
+                        t = rs
+                extra = 0
+                if tch:
+                    if cache is not None:
+                        extra = cache.extra_latency(adr, memory_rng)
+                    ms = mem_ready[adr]
+                    if ms > t:
+                        t = ms
+                if ooo:
+                    # Window: cannot issue before the instruction
+                    # `window` older has issued (dispatch backpressure).
+                    if k >= window:
+                        wt = issue_flat[k - window]
+                        if wt > t:
+                            t = wt
+                    # ROB: the instruction `rob_size` older must have
+                    # completed to free a reorder-buffer slot.
+                    if k >= rob:
+                        ct = complete[k - rob]
+                        if ct > t:
+                            t = ct
+                elif last_issue > t:
+                    t = last_issue
+
+                # Find a cycle with a free unit instance and issue slot.
+                if len(times) == 1:
+                    idx = 0
+                    unit_free = times[0]
+                else:
+                    idx = min(range(len(times)), key=times.__getitem__)
+                    unit_free = times[idx]
+                if unit_free > t:
+                    t = unit_free
+                if t >= n_counts:
+                    counts.extend([0] * (t - n_counts + 256))
+                    n_counts = len(counts)
+                while counts[t] >= width:
+                    t += 1
+                    if t >= n_counts:
+                        counts.extend([0] * 256)
+                        n_counts = len(counts)
+
+                comp = t + lat + extra
+                issue_flat[k] = t
+                complete[k] = comp
+                counts[t] += 1
+                times[idx] = t + rt
+                if dst >= 0:
+                    reg_ready[dst] = comp
+                if tch:
+                    mem_ready[adr] = comp
+                if not ooo:
+                    last_issue = t
+                k += 1
+        return np.array(issue_flat, dtype=np.int64).reshape(
+            iterations, n_body
+        )
+
+    def execute_reference(
+        self,
+        program: LoopProgram,
+        iterations: int = 16,
+        cache=None,
+        memory_rng: Optional[np.random.Generator] = None,
+    ) -> np.ndarray:
+        """Readable event-driven formulation of :meth:`execute`.
+
+        Kept as the golden reference for the optimized kernel: same
+        semantics, expressed through :class:`_UnitPool` and
+        :class:`_ScoreBoard` objects.  ``tests/test_vectorized_equivalence.py``
+        asserts the two produce identical schedules.
         """
         if iterations < 2:
             raise ValueError("need >= 2 iterations to find a steady state")
@@ -218,7 +347,11 @@ class Pipeline:
         starts = issue[:, 0]
         deltas = np.diff(starts)
         period = 1
-        for candidate in (1, 2, 3, 4, 6):
+        # Try every super-period up to iterations // 2 (the largest that
+        # still fits two full repetitions in the observed window), so
+        # odd periods like 5 or 7 are extracted, not silently collapsed
+        # to a wrong 1-iteration period.
+        for candidate in range(1, iterations // 2 + 1):
             if deltas.size >= 2 * candidate and np.array_equal(
                 deltas[-candidate:], deltas[-2 * candidate:-candidate]
             ):

@@ -72,9 +72,94 @@ class LoopProgram:
         return "\n".join(lines)
 
     def genome(self) -> Tuple[Tuple, ...]:
-        """Hashable representation for fitness memoization."""
-        return tuple(
-            (i.mnemonic, i.dest, i.sources, i.address) for i in self.body
+        """Hashable representation for fitness memoization.
+
+        The tuple is computed once and cached on the (immutable)
+        instance, so the GA's per-generation cache lookups are O(1)
+        instead of re-walking the loop body every call.
+        """
+        cached = self.__dict__.get("_genome")
+        if cached is None:
+            cached = tuple(
+                (i.mnemonic, i.dest, i.sources, i.address)
+                for i in self.body
+            )
+            object.__setattr__(self, "_genome", cached)
+        return cached
+
+    def static_arrays(self) -> "ProgramStatics":
+        """Packed per-instruction arrays for the evaluation kernels.
+
+        Walks the loop body once and caches the result on the instance;
+        the schedulers and the current model index these flat arrays
+        instead of doing per-dynamic-instruction attribute lookups.
+        """
+        cached = self.__dict__.get("_statics")
+        if cached is None:
+            cached = ProgramStatics(self)
+            object.__setattr__(self, "_statics", cached)
+        return cached
+
+
+class ProgramStatics:
+    """Per-program static arrays consumed by the evaluation kernels.
+
+    Registers are packed into one dense namespace (INT, then FP, then
+    VEC) so the scheduler scoreboard is a flat list instead of a dict
+    keyed by ``(regfile, reg)``.  The charge-deposit helpers
+    (``per_cycle_energy``, ``deposit_offsets``) let the current model
+    scatter every instruction's charge packet with one ``np.add.at``.
+    """
+
+    __slots__ = (
+        "units",
+        "latency",
+        "recip",
+        "sources",
+        "dest",
+        "touches_memory",
+        "address",
+        "num_registers",
+        "energy",
+        "recip_arr",
+        "per_cycle_energy",
+        "deposit_offsets",
+    )
+
+    def __init__(self, program: "LoopProgram"):
+        body = program.body
+        offsets: Dict[RegisterFile, int] = {}
+        total = 0
+        for rf in RegisterFile:
+            offsets[rf] = total
+            total += program.isa.registers.get(rf, 0)
+        self.num_registers = total
+
+        self.units = tuple(i.spec.unit for i in body)
+        self.latency = [i.spec.latency for i in body]
+        self.recip = [i.spec.recip_throughput for i in body]
+        self.sources = tuple(
+            tuple(offsets[i.spec.regfile] + s for s in i.sources)
+            for i in body
+        )
+        self.dest = [
+            offsets[i.spec.regfile] + i.dest if i.spec.has_dest else -1
+            for i in body
+        ]
+        self.touches_memory = tuple(i.spec.touches_memory for i in body)
+        self.address = [
+            i.address if i.spec.touches_memory else -1 for i in body
+        ]
+
+        self.energy = np.array([i.spec.energy for i in body], dtype=float)
+        self.recip_arr = np.array(self.recip, dtype=np.int64)
+        self.per_cycle_energy = self.energy / self.recip_arr
+        # Concatenated [0..d) ranges, one per instruction: adding these
+        # to np.repeat(issue_offsets, recip_arr) yields every cycle each
+        # charge packet covers.
+        ends = np.cumsum(self.recip_arr)
+        self.deposit_offsets = np.arange(ends[-1]) - np.repeat(
+            ends - self.recip_arr, self.recip_arr
         )
 
 

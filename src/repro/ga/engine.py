@@ -22,11 +22,17 @@ from repro.ga.operators import (
     one_point_crossover,
     tournament_selection,
 )
+from repro.ga.parallel import ParallelEvaluator
 
 
 @dataclass(frozen=True)
 class GAConfig:
-    """GA hyperparameters; defaults follow the paper's recipe."""
+    """GA hyperparameters; defaults follow the paper's recipe.
+
+    ``workers`` fans the fitness evaluations of each generation out
+    across processes (see :mod:`repro.ga.parallel`); the default of 1
+    keeps the serial path and its seed-for-seed behavior.
+    """
 
     population_size: int = 50
     generations: int = 60
@@ -35,6 +41,7 @@ class GAConfig:
     tournament_size: int = 3
     elitism: int = 1
     seed: int = 0
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if self.population_size < 2:
@@ -47,6 +54,8 @@ class GAConfig:
             raise ValueError("mutation_rate must be in [0, 1]")
         if not 0 <= self.elitism < self.population_size:
             raise ValueError("elitism must be < population_size")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
 
 
 @dataclass
@@ -126,6 +135,34 @@ class GAEngine:
             self._cache[key] = hit
         return hit
 
+    def _evaluate_generation(
+        self,
+        population: Sequence[LoopProgram],
+        evaluator: ParallelEvaluator,
+    ) -> Tuple[List[FitnessEvaluation], int]:
+        """Evaluate a whole generation as one batch.
+
+        With memoization on, the generation is deduped by genome
+        against the memo cache, only unseen genomes are dispatched to
+        ``evaluator`` (first occurrence wins), and the results are
+        merged back so clones read from the cache.  Returns the
+        per-individual evaluations (population order) and the number of
+        fresh fitness measurements.
+        """
+        if not self._memoize:
+            evals = evaluator.evaluate(population)
+            return evals, len(evals)
+        genomes = [p.genome() for p in population]
+        pending: Dict[Tuple, LoopProgram] = {}
+        for program, genome in zip(population, genomes):
+            if genome not in self._cache and genome not in pending:
+                pending[genome] = program
+        if pending:
+            fresh = evaluator.evaluate(list(pending.values()))
+            for genome, evaluation in zip(pending, fresh):
+                self._cache[genome] = evaluation
+        return [self._cache[g] for g in genomes], len(pending)
+
     def _initial_population(
         self, isa, rng: np.random.Generator
     ) -> List[LoopProgram]:
@@ -165,29 +202,31 @@ class GAEngine:
 
         history: List[GenerationRecord] = []
         evaluations = 0
-        for gen in range(cfg.generations):
-            evals = []
-            for program in population:
-                cached = program.genome() in self._cache
-                evals.append(self._evaluate(program))
-                if not cached:
-                    evaluations += 1
-            scores = [e.score for e in evals]
-            best_idx = int(np.argmax(scores))
-            record = GenerationRecord(
-                generation=gen,
-                best_program=population[best_idx],
-                best=evals[best_idx],
-                mean_score=float(np.mean(scores)),
-            )
-            history.append(record)
-            if progress is not None:
-                progress(record)
-            if gen == cfg.generations - 1:
-                break
-            population = self._next_generation(
-                population, scores, rng, best_idx
-            )
+        evaluator = ParallelEvaluator(self._fitness, cfg.workers)
+        try:
+            for gen in range(cfg.generations):
+                evals, fresh = self._evaluate_generation(
+                    population, evaluator
+                )
+                evaluations += fresh
+                scores = [e.score for e in evals]
+                best_idx = int(np.argmax(scores))
+                record = GenerationRecord(
+                    generation=gen,
+                    best_program=population[best_idx],
+                    best=evals[best_idx],
+                    mean_score=float(np.mean(scores)),
+                )
+                history.append(record)
+                if progress is not None:
+                    progress(record)
+                if gen == cfg.generations - 1:
+                    break
+                population = self._next_generation(
+                    population, scores, rng, best_idx
+                )
+        finally:
+            evaluator.close()
         return GAResult(config=cfg, history=history, evaluations=evaluations)
 
     def _next_generation(

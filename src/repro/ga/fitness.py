@@ -14,7 +14,7 @@ the per-generation records of Figs. 7/12/17 plot.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Callable, Optional, Tuple
 
 from repro.cpu.program import LoopProgram
 from repro.em.radiation import DieRadiator
@@ -52,6 +52,23 @@ def _common_metrics(
         run.peak_to_peak,
         run.ipc,
     )
+
+
+@dataclass
+class ClusterFitness:
+    """Bind a ``(cluster, program)`` fitness to one cluster.
+
+    The GA engine expects a single-argument ``program -> evaluation``
+    callable.  Using this dataclass instead of a lambda keeps the bound
+    fitness picklable, so ``GAConfig.workers > 1`` can ship it to
+    worker processes.
+    """
+
+    fitness: Callable[[Cluster, LoopProgram], "FitnessEvaluation"]
+    cluster: Cluster
+
+    def __call__(self, program: LoopProgram) -> "FitnessEvaluation":
+        return self.fitness(self.cluster, program)
 
 
 @dataclass

@@ -1,0 +1,108 @@
+"""Parallel fitness evaluation for the GA engine.
+
+A generation's unseen genomes are independent measurements, so they can
+be fanned out across worker processes.  The dispatch model is:
+
+1. the engine dedupes the generation by genome against its memo cache,
+2. unseen programs are submitted to a :class:`ProcessPoolExecutor`
+   (created once per run and reused across generations), and
+3. results are merged back into the cache in submission order.
+
+Ordering is deterministic: ``executor.map`` returns results in the
+order programs were submitted, so a *pure* fitness function produces
+bit-identical ``GAResult`` histories at any worker count (the
+``workers=4 == workers=1`` determinism test).  A fitness that mutates
+hidden state per call (e.g. a spectrum analyzer advancing its RNG)
+keeps that state per-process under parallel dispatch, so its scores
+are only reproducible serially -- leave ``workers=1`` for those.
+
+Fitness callables must be picklable to cross the process boundary
+(plain functions, dataclass instances such as
+:class:`repro.ga.fitness.ClusterFitness` -- not closures).  An
+unpicklable fitness degrades gracefully to serial evaluation.
+"""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, List, Optional, Sequence
+
+from repro.cpu.program import LoopProgram
+from repro.ga.fitness import FitnessEvaluation
+
+# Per-worker fitness instance, installed once by the pool initializer so
+# each task ships only its (small) LoopProgram, not the whole
+# measurement chain.
+_WORKER_FITNESS: Optional[Callable] = None
+
+
+def _init_worker(payload: bytes) -> None:
+    global _WORKER_FITNESS
+    _WORKER_FITNESS = pickle.loads(payload)
+
+
+def _evaluate_in_worker(program: LoopProgram) -> FitnessEvaluation:
+    return _WORKER_FITNESS(program)
+
+
+class ParallelEvaluator:
+    """Evaluates batches of programs across a process pool.
+
+    Parameters
+    ----------
+    fitness:
+        The fitness callable.  If it cannot be pickled the evaluator
+        silently evaluates serially in-process (``parallel`` is False).
+    workers:
+        Pool size; 1 means serial.
+    """
+
+    def __init__(self, fitness: Callable, workers: int):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self._fitness = fitness
+        self.workers = workers
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._payload: Optional[bytes] = None
+        if workers > 1:
+            try:
+                self._payload = pickle.dumps(fitness)
+            except Exception:
+                self._payload = None
+
+    @property
+    def parallel(self) -> bool:
+        """Whether batches actually fan out to worker processes."""
+        return self._payload is not None
+
+    def evaluate(
+        self, programs: Sequence[LoopProgram]
+    ) -> List[FitnessEvaluation]:
+        """Evaluate ``programs``, returning results in input order."""
+        if not self.parallel or len(programs) <= 1:
+            return [self._fitness(p) for p in programs]
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_init_worker,
+                initargs=(self._payload,),
+            )
+        chunksize = max(1, len(programs) // (self.workers * 4))
+        return list(
+            self._pool.map(
+                _evaluate_in_worker, programs, chunksize=chunksize
+            )
+        )
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "ParallelEvaluator":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -7,6 +7,15 @@ history voltage.  Because the PDN is linear and the step is fixed, the
 system matrix is constant and is LU-factorized once; each step is a
 single back-substitution, so long waveforms (Figs. 1c and 2) integrate
 quickly.
+
+The per-step right-hand side is itself linear in the state, so all
+history stamps are precomputed at solver construction into constant
+matrices (``_hist_mat``, ``_cap_inj``, ``_src_mat``, ``_b_vsrc``):
+each step of :meth:`TransientSolver.run` and
+:meth:`TransientStepper.step` assembles the RHS as two mat-vecs plus a
+vector add -- no per-element Python loops or ``layout.node()`` dict
+lookups.  :meth:`TransientSolver.run_reference` keeps the per-element
+formulation as the golden reference.
 """
 
 from __future__ import annotations
@@ -75,6 +84,7 @@ class TransientSolver:
         self._layout: MNALayout = circuit.layout()
         self._matrix_lu = None
         self._build_matrix()
+        self._build_stamps()
 
     @property
     def dt(self) -> float:
@@ -105,6 +115,107 @@ class TransientSolver:
         self._matrix = a
         self._matrix_lu = lu_factor(a)
 
+    def _build_stamps(self) -> None:
+        """Precompute the constant history-stamp matrices.
+
+        With the capacitor voltage selector ``S`` (rows of +-1 picking
+        ``v_a - v_b``), its injection transpose, the inductor history
+        rows and the source injection columns all constant, every step's
+        RHS is ``hist_mat @ x + cap_inj @ cap_i + src_mat @ i(t) +
+        b_vsrc``.
+        """
+        layout = self._layout
+        h = self._dt
+        n = layout.size
+        elements = self._circuit.elements
+        self._caps = [e for e in elements if isinstance(e, Capacitor)]
+        self._inds = [e for e in elements if isinstance(e, Inductor)]
+        self._vsrcs = [e for e in elements if isinstance(e, VoltageSource)]
+        self._isrcs = list(self._circuit.current_sources())
+
+        n_cap = len(self._caps)
+        cap_sel = np.zeros((n_cap, n))
+        for row, e in enumerate(self._caps):
+            ia, ib = layout.node(e.node_a), layout.node(e.node_b)
+            if ia >= 0:
+                cap_sel[row, ia] = 1.0
+            if ib >= 0:
+                cap_sel[row, ib] = -1.0
+        self._cap_sel = cap_sel
+        self._cap_inj = cap_sel.T.copy()
+        self._g_cap_vec = np.array(
+            [2.0 * e.capacitance / h for e in self._caps]
+        )
+
+        hist = self._cap_inj @ (self._g_cap_vec[:, None] * cap_sel)
+        for e in self._inds:
+            k = layout.branch(e.name)
+            r = 2.0 * e.inductance / h
+            hist[k, k] = -r
+            ia, ib = layout.node(e.node_a), layout.node(e.node_b)
+            if ia >= 0:
+                hist[k, ia] = -1.0
+            if ib >= 0:
+                hist[k, ib] = 1.0
+        self._hist_mat = hist
+
+        src_mat = np.zeros((n, len(self._isrcs)))
+        for col, s in enumerate(self._isrcs):
+            ia, ib = layout.node(s.node_a), layout.node(s.node_b)
+            if ia >= 0:
+                src_mat[ia, col] = -1.0
+            if ib >= 0:
+                src_mat[ib, col] = 1.0
+        self._src_mat = src_mat
+
+        b_vsrc = np.zeros(n)
+        for e in self._vsrcs:
+            b_vsrc[layout.branch(e.name)] = e.voltage
+        self._b_vsrc = b_vsrc
+
+        # Pre-solve the constant stamps against the factorized system:
+        # x_next = lu_solve(A, hist_mat @ x + cap_inj @ cap_i + ...)
+        # distributes over the sum, so each transient step reduces to
+        # two or three small mat-vecs -- no per-step lu_solve call.
+        lu = self._matrix_lu
+        self._prop_state = lu_solve(lu, self._hist_mat)
+        self._prop_cap = (
+            lu_solve(lu, self._cap_inj)
+            if n_cap
+            else np.zeros((n, 0))
+        )
+        self._prop_src = (
+            lu_solve(lu, src_mat)
+            if self._isrcs
+            else np.zeros((n, 0))
+        )
+        self._prop_const = lu_solve(lu, b_vsrc)
+
+    def _source_values(self, t: float) -> np.ndarray:
+        return np.fromiter(
+            (s.value_at(t) for s in self._isrcs),
+            dtype=float,
+            count=len(self._isrcs),
+        )
+
+    def _initial_state(
+        self, initial: Optional[Dict[str, float]]
+    ) -> np.ndarray:
+        """DC operating point, optionally overridden per node."""
+        layout = self._layout
+        op = dc_operating_point(self._circuit)
+        if initial:
+            op.update(initial)
+        x = np.zeros(layout.size)
+        for name, idx in layout.node_index.items():
+            x[idx] = op.get(name, 0.0)
+        # Initial inductor currents from the DC solve: re-run the DC MNA
+        # to recover branch currents consistent with the node voltages.
+        x_dc = self._dc_state()
+        for e in self._inds + self._vsrcs:
+            x[layout.branch(e.name)] = x_dc[layout.branch(e.name)]
+        return x
+
     def run(
         self,
         duration: float,
@@ -125,31 +236,68 @@ class TransientSolver:
         if steps <= 0:
             raise ValueError("duration shorter than one step")
 
-        caps = [e for e in self._circuit.elements if isinstance(e, Capacitor)]
-        inds = [e for e in self._circuit.elements if isinstance(e, Inductor)]
-        vsrcs = [
-            e for e in self._circuit.elements if isinstance(e, VoltageSource)
-        ]
-        isrcs = list(self._circuit.current_sources())
+        x = self._initial_state(initial)
+        cap_i = np.zeros(len(self._caps))
 
-        # --- initial state -------------------------------------------------
-        op = dc_operating_point(self._circuit)
-        if initial:
-            op.update(initial)
+        n_rec = steps // record_every + 1
+        times = np.empty(n_rec)
+        traj = np.empty((n_rec, layout.size))
+        times[0] = 0.0
+        traj[0] = x
+        rec = 1
+
+        prop_state = self._prop_state
+        prop_cap = self._prop_cap
+        prop_src = self._prop_src
+        prop_const = self._prop_const
+        cap_sel = self._cap_sel
+        g_vec = self._g_cap_vec
+        has_src = len(self._isrcs) > 0
+
+        dv = cap_sel @ x  # capacitor voltage differences of the state
+        for step in range(1, steps + 1):
+            t_next = step * h
+            x_next = prop_state @ x + prop_cap @ cap_i + prop_const
+            if has_src:
+                x_next += prop_src @ self._source_values(t_next)
+            # Update capacitor currents for the next history term.
+            dv_new = cap_sel @ x_next
+            cap_i = g_vec * dv_new - (g_vec * dv + cap_i)
+            dv = dv_new
+            x = x_next
+            if step % record_every == 0:
+                times[rec] = t_next
+                traj[rec] = x
+                rec += 1
+
+        return self._package(times[:rec], traj[:rec])
+
+    def run_reference(
+        self,
+        duration: float,
+        initial: Optional[Dict[str, float]] = None,
+        record_every: int = 1,
+    ) -> TransientResult:
+        """Per-element formulation of :meth:`run` (golden reference).
+
+        Assembles each step's RHS by iterating the netlist and stamping
+        one element at a time -- the readable textbook loop the
+        vectorized kernel is checked against.
+        """
+        layout = self._layout
+        h = self._dt
+        steps = int(round(duration / h))
+        if steps <= 0:
+            raise ValueError("duration shorter than one step")
+
+        caps, inds, vsrcs = self._caps, self._inds, self._vsrcs
+        isrcs = self._isrcs
 
         def node_v(state: np.ndarray, name: str) -> float:
             idx = layout.node(name)
             return 0.0 if idx < 0 else float(state[idx])
 
-        x = np.zeros(layout.size)
-        for name, idx in layout.node_index.items():
-            x[idx] = op.get(name, 0.0)
-        # Initial inductor currents from the DC solve: re-run the DC MNA
-        # to recover branch currents consistent with the node voltages.
-        x_dc = self._dc_state()
-        for e in inds + vsrcs:
-            x[layout.branch(e.name)] = x_dc[layout.branch(e.name)]
-
+        x = self._initial_state(initial)
         cap_i = {e.name: 0.0 for e in caps}  # capacitor currents (a->b)
 
         n_rec = steps // record_every + 1
@@ -162,7 +310,6 @@ class TransientSolver:
         g_cap = {e.name: 2.0 * e.capacitance / h for e in caps}
         r_ind = {e.name: 2.0 * e.inductance / h for e in inds}
 
-        t = 0.0
         for step in range(1, steps + 1):
             t_next = step * h
             b = np.zeros(layout.size)
@@ -202,14 +349,17 @@ class TransientSolver:
                 cap_i[e.name] = g_cap[e.name] * v_new - i_hist
 
             x = x_next
-            t = t_next
             if step % record_every == 0:
-                times[rec] = t
+                times[rec] = t_next
                 traj[rec] = x
                 rec += 1
 
-        times = times[:rec]
-        traj = traj[:rec]
+        return self._package(times[:rec], traj[:rec])
+
+    def _package(
+        self, times: np.ndarray, traj: np.ndarray
+    ) -> TransientResult:
+        layout = self._layout
         node_voltages = {
             name: traj[:, idx] for name, idx in layout.node_index.items()
         }
@@ -267,6 +417,10 @@ class TransientStepper:
     die load current per step from the caller instead of from a source
     element -- current sources in the circuit still apply on top.  The
     initial state is the DC operating point with the first load value.
+
+    The per-step RHS reuses the solver's precomputed history stamps, so
+    a step is two mat-vecs, one back-substitution and a capacitor
+    history update -- no per-element loops.
     """
 
     def __init__(self, solver: TransientSolver, load_node: str):
@@ -278,23 +432,17 @@ class TransientStepper:
             self._layout.node_index
         ):
             raise KeyError(f"unknown load node {load_node!r}")
-        self._caps = [
-            e for e in self._circuit.elements if isinstance(e, Capacitor)
-        ]
-        self._inds = [
-            e for e in self._circuit.elements if isinstance(e, Inductor)
-        ]
-        self._vsrcs = [
-            e
-            for e in self._circuit.elements
-            if isinstance(e, VoltageSource)
-        ]
-        self._isrcs = list(self._circuit.current_sources())
-        h = solver.dt
-        self._g_cap = {e.name: 2.0 * e.capacitance / h for e in self._caps}
-        self._r_ind = {e.name: 2.0 * e.inductance / h for e in self._inds}
+        self._isrcs = solver._isrcs
+        self._vsrcs = solver._vsrcs
+        # Load injection vector: -1 at the load node (load convention),
+        # pre-solved against the factorized system like the other stamps.
+        self._load_vec = np.zeros(self._layout.size)
+        idx = self._layout.node(load_node)
+        if idx >= 0:
+            self._load_vec[idx] = -1.0
+        self._prop_load = lu_solve(solver._matrix_lu, self._load_vec)
         self._state: Optional[np.ndarray] = None
-        self._cap_i: Dict[str, float] = {}
+        self._cap_i: Optional[np.ndarray] = None
         self._t = 0.0
 
     @property
@@ -313,21 +461,11 @@ class TransientStepper:
                 ]
             )
         )
-        b = np.zeros(layout.size)
-        idx = layout.node(self._load_node)
-        if idx >= 0:
-            b[idx] -= initial_load_a
-        for s in self._isrcs:
-            i0 = s.value_at(0.0)
-            ia, ib = layout.node(s.node_a), layout.node(s.node_b)
-            if ia >= 0:
-                b[ia] -= i0
-            if ib >= 0:
-                b[ib] += i0
-        for e in self._vsrcs:
-            b[layout.branch(e.name)] = e.voltage
+        b = self._load_vec * initial_load_a + self._solver._b_vsrc.copy()
+        if self._isrcs:
+            b += self._solver._src_mat @ self._solver._source_values(0.0)
         self._state = np.linalg.solve(a, b)
-        self._cap_i = {e.name: 0.0 for e in self._caps}
+        self._cap_i = np.zeros(len(self._solver._caps))
         self._t = 0.0
 
     def _node_v(self, state: np.ndarray, name: str) -> float:
@@ -339,44 +477,21 @@ class TransientStepper:
         node; returns the new load-node voltage."""
         if self._state is None:
             self.reset(load_a)
-        layout = self._layout
+        solver = self._solver
         x = self._state
-        t_next = self._t + self._solver.dt
-        b = np.zeros(layout.size)
-        idx = layout.node(self._load_node)
-        if idx >= 0:
-            b[idx] -= load_a
-        for s in self._isrcs:
-            i_now = s.value_at(t_next)
-            ia, ib = layout.node(s.node_a), layout.node(s.node_b)
-            if ia >= 0:
-                b[ia] -= i_now
-            if ib >= 0:
-                b[ib] += i_now
-        for e in self._caps:
-            i_hist = self._g_cap[e.name] * (
-                self._node_v(x, e.node_a) - self._node_v(x, e.node_b)
-            ) + self._cap_i[e.name]
-            ia, ib = layout.node(e.node_a), layout.node(e.node_b)
-            if ia >= 0:
-                b[ia] += i_hist
-            if ib >= 0:
-                b[ib] -= i_hist
-        for e in self._inds:
-            k = layout.branch(e.name)
-            v_ab = self._node_v(x, e.node_a) - self._node_v(x, e.node_b)
-            b[k] = -self._r_ind[e.name] * x[k] - v_ab
-        for e in self._vsrcs:
-            b[layout.branch(e.name)] = e.voltage
-
-        x_next = lu_solve(self._solver._matrix_lu, b)
-        for e in self._caps:
-            v_new = self._node_v(x_next, e.node_a) - self._node_v(
-                x_next, e.node_b
-            )
-            v_old = self._node_v(x, e.node_a) - self._node_v(x, e.node_b)
-            i_hist = self._g_cap[e.name] * v_old + self._cap_i[e.name]
-            self._cap_i[e.name] = self._g_cap[e.name] * v_new - i_hist
+        t_next = self._t + solver.dt
+        x_next = (
+            solver._prop_state @ x
+            + solver._prop_cap @ self._cap_i
+            + solver._prop_const
+            + self._prop_load * load_a
+        )
+        if self._isrcs:
+            x_next += solver._prop_src @ solver._source_values(t_next)
+        g_vec = solver._g_cap_vec
+        self._cap_i = g_vec * (solver._cap_sel @ x_next) - (
+            g_vec * (solver._cap_sel @ x) + self._cap_i
+        )
         self._state = x_next
         self._t = t_next
         return self._node_v(x_next, self._load_node)

@@ -151,3 +151,27 @@ class TestSteadyState:
         program = make_loop(*(["add"] * 8 + ["sdiv"]))
         schedule = OutOfOrderPipeline(width=3).steady_schedule(program)
         assert schedule.loop_frequency_hz(1.2e9) == pytest.approx(150e6)
+
+    def test_odd_super_period_is_detected(self):
+        """Regression: a 5-iteration super-period must be extracted.
+
+        The search used to try only super-periods {1, 2, 3, 4, 6}, so a
+        pattern of iteration lengths repeating every 5 iterations
+        collapsed to a wrong 1-iteration period.  Synthesize such a
+        schedule by stubbing ``execute``.
+        """
+        pattern = [3, 1, 1, 1, 2]  # iteration lengths, super-period 5
+        program = make_loop("add")
+
+        class FivePeriodic(InOrderPipeline):
+            def execute(self, prog, iterations, cache=None,
+                        memory_rng=None):
+                starts = np.cumsum(
+                    [0] + [pattern[i % 5] for i in range(iterations - 1)]
+                )
+                return starts.reshape(-1, 1).astype(np.int64)
+
+        schedule = FivePeriodic().steady_schedule(program, iterations=16)
+        # One electrical period covers the 5-iteration pattern.
+        assert schedule.cycles == sum(pattern)
+        assert len(schedule.program.body) == 5 * len(program.body)

@@ -59,6 +59,12 @@ class TestAssemblyAndGenome:
         p = program_from_mnemonics(ARM_ISA, ["add", "mul"])
         assert hash(p.genome()) == hash(p.genome())
 
+    def test_genome_is_computed_once(self):
+        """Repeat calls return the cached tuple (the GA hits genome()
+        several times per individual per generation)."""
+        p = program_from_mnemonics(ARM_ISA, ["add", "mul"])
+        assert p.genome() is p.genome()
+
     def test_different_programs_have_different_genomes(self):
         a = program_from_mnemonics(ARM_ISA, ["add", "mul"])
         b = program_from_mnemonics(ARM_ISA, ["mul", "add"])

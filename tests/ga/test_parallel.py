@@ -1,0 +1,118 @@
+"""Parallel GA evaluation: determinism and graceful degradation."""
+
+import numpy as np
+import pytest
+
+from repro.cpu.arm import ARM_ISA
+from repro.cpu.isa import InstructionClass
+from repro.ga.engine import GAConfig, GAEngine
+from repro.ga.fitness import FitnessEvaluation
+from repro.ga.parallel import ParallelEvaluator
+
+
+class PureFitness:
+    """Deterministic, stateless, picklable fitness (module level so
+    worker processes can unpickle it)."""
+
+    def __call__(self, program):
+        simd = sum(
+            1 for i in program.body
+            if i.spec.iclass is InstructionClass.SIMD
+        )
+        # A float score with some structure so ties are rare.
+        score = simd + 0.001 * sum(
+            i.dest or 0 for i in program.body
+        )
+        return FitnessEvaluation(
+            score=score,
+            dominant_frequency_hz=float(simd),
+            max_droop_v=0.0,
+            peak_to_peak_v=0.0,
+            ipc=1.0,
+            loop_frequency_hz=1.0,
+        )
+
+
+def ga_config(workers):
+    return GAConfig(
+        population_size=12,
+        generations=5,
+        loop_length=20,
+        seed=4,
+        workers=workers,
+    )
+
+
+class TestConfig:
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError):
+            GAConfig(workers=0)
+
+
+class TestDeterminism:
+    def test_workers_4_matches_workers_1(self):
+        """A pure fitness gives bit-identical history at any worker
+        count: same per-generation scores, winners, and evaluation
+        budget."""
+        serial = GAEngine(PureFitness(), ga_config(1)).run(ARM_ISA)
+        parallel = GAEngine(PureFitness(), ga_config(4)).run(ARM_ISA)
+        assert serial.evaluations == parallel.evaluations
+        assert len(serial.history) == len(parallel.history)
+        for s, p in zip(serial.history, parallel.history):
+            assert s.best.score == p.best.score
+            assert s.mean_score == p.mean_score
+            assert s.best_program.genome() == p.best_program.genome()
+
+
+class TestEvaluator:
+    def test_serial_fallback_for_unpicklable_fitness(self):
+        """Closures can't cross the process boundary; the evaluator
+        must quietly evaluate in-process instead of crashing."""
+        secret = 2.5
+        ev = ParallelEvaluator(lambda p: secret, workers=4)
+        assert not ev.parallel
+        rng = np.random.default_rng(0)
+        from repro.cpu.program import random_program
+
+        programs = [random_program(ARM_ISA, 5, rng) for _ in range(3)]
+        assert ev.evaluate(programs) == [2.5, 2.5, 2.5]
+
+    def test_workers_1_never_spawns_a_pool(self):
+        ev = ParallelEvaluator(PureFitness(), workers=1)
+        assert not ev.parallel
+        assert ev._pool is None
+
+    def test_parallel_results_preserve_input_order(self):
+        rng = np.random.default_rng(1)
+        from repro.cpu.program import random_program
+
+        programs = [random_program(ARM_ISA, 8, rng) for _ in range(6)]
+        fitness = PureFitness()
+        with ParallelEvaluator(fitness, workers=2) as ev:
+            assert ev.parallel
+            got = [e.score for e in ev.evaluate(programs)]
+        expected = [fitness(p).score for p in programs]
+        assert got == expected
+
+    def test_unpicklable_fitness_in_engine_stays_serial(self):
+        """GAEngine with workers>1 and a closure fitness still runs
+        (and counts evaluations) exactly like the serial engine."""
+        calls = {"n": 0}
+
+        def fitness(program):
+            calls["n"] += 1
+            return FitnessEvaluation(
+                score=float(len(program.body)),
+                dominant_frequency_hz=0.0,
+                max_droop_v=0.0,
+                peak_to_peak_v=0.0,
+                ipc=1.0,
+                loop_frequency_hz=1.0,
+            )
+
+        cfg = GAConfig(
+            population_size=8, generations=3, loop_length=10,
+            seed=0, workers=4,
+        )
+        result = GAEngine(fitness, cfg).run(ARM_ISA)
+        assert calls["n"] == result.evaluations
