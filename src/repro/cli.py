@@ -1,19 +1,32 @@
 """Command-line interface: characterize simulated platforms from a shell.
 
-Subcommands mirror the paper's workflow::
+Subcommands mirror the paper's workflow; every artifact-producing run
+writes a ``run_manifest.json`` + JSONL event log next to its outputs::
 
+    python -m repro platforms
     python -m repro table1
     python -m repro impedance --platform a72
-    python -m repro sweep --platform a53 --cores 1
+    python -m repro sweep --platform a53 --cores 1 --out sweeps/
     python -m repro virus --platform a72 --generations 40 --out viruses/
+    # interrupted?  resume bit-identically from the saved checkpoint:
+    python -m repro virus --platform a72 --generations 40 --out viruses/ \
+        --resume viruses/checkpoint.json
     python -m repro vmin --platform a72 --workloads lbm,gcc,idle \
         --virus viruses/cortex-a72-em-amplitude.meta.json
+    python -m repro report --platform a72 --out reports/
+    # regenerate a report from provenance alone (no re-run):
+    python -m repro provenance viruses/
+
+Platform keys are resolved through the Table 1 registry
+(:mod:`repro.platforms.registry`); ``platforms`` lists every runnable
+entry.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Optional
 
 import numpy as np
@@ -26,27 +39,24 @@ from repro.instruments.spectrum_analyzer import (
     SpectrumAnalyzer,
     watts_to_dbm,
 )
-from repro.platforms import (
-    make_amd_desktop,
-    make_gpu_card,
-    make_juno_board,
-)
+from repro.obs.context import RunContext
+from repro.obs.events import EventLog, JsonlFileSink, StderrSink
+from repro.obs.manifest import RunManifest
+from repro.platforms import registry
 from repro.platforms.base import Cluster
 
-PLATFORM_CHOICES = ("a72", "a53", "amd", "gpu")
+PLATFORM_CHOICES = registry.platform_keys()
+
+EVENT_LOG_FILENAME = "events.jsonl"
+CHECKPOINT_FILENAME = "checkpoint.json"
 
 
 def resolve_cluster(name: str) -> Cluster:
     """Build the named platform's cluster at its nominal state."""
-    if name == "a72":
-        return make_juno_board().a72
-    if name == "a53":
-        return make_juno_board().a53
-    if name == "amd":
-        return make_amd_desktop().cpu
-    if name == "gpu":
-        return make_gpu_card().gpu
-    raise ValueError(f"unknown platform {name!r}")
+    try:
+        return registry.make_cluster(name)
+    except KeyError as exc:
+        raise ValueError(str(exc)) from None
 
 
 def make_characterizer(seed: int) -> EMCharacterizer:
@@ -56,11 +66,35 @@ def make_characterizer(seed: int) -> EMCharacterizer:
     )
 
 
+def _open_event_log(args) -> tuple:
+    """(EventLog, relative log name or None) for an artifact run.
+
+    ``--out`` runs always archive a JSONL event log next to their
+    artifacts; ``--events -`` additionally streams records to stderr.
+    """
+    sinks = []
+    log_name = None
+    out = getattr(args, "out", None)
+    if out:
+        log_name = EVENT_LOG_FILENAME
+        sinks.append(JsonlFileSink(Path(out) / log_name))
+    if getattr(args, "events", None) == "-":
+        sinks.append(StderrSink())
+    elif getattr(args, "events", None):
+        sinks.append(JsonlFileSink(args.events))
+    return EventLog(sinks), log_name
+
+
 # ---------------------------------------------------------------------------
 def cmd_table1(args) -> int:
     from repro.platforms.registry import render_table
 
     print(render_table())
+    return 0
+
+
+def cmd_platforms(args) -> int:
+    print(registry.render_registry())
     return 0
 
 
@@ -84,10 +118,23 @@ def cmd_sweep(args) -> int:
     cluster = resolve_cluster(args.platform)
     if args.cores:
         cluster.power_gate(args.cores)
+    log, log_name = _open_event_log(args)
+    manifest = RunManifest.create(
+        "sweep",
+        args.platform,
+        args.seed,
+        config={"samples": args.samples, "cores": args.cores},
+    )
+    ctx = RunContext(
+        cluster=cluster,
+        seed=args.seed,
+        event_log=log,
+        active_cores=1 if args.cores else None,
+    )
     sweep = ResonanceSweep(
         make_characterizer(args.seed), samples_per_point=args.samples
     )
-    result = sweep.run(cluster, active_cores=1 if args.cores else None)
+    result = sweep.run(ctx)
     print(f"# {cluster.name}, {cluster.powered_cores} powered cores")
     print(f"# {'loop_freq_hz':>14} {'amplitude_dbm':>14}")
     for point in sorted(result.points, key=lambda p: p.loop_frequency_hz):
@@ -96,10 +143,29 @@ def cmd_sweep(args) -> int:
     print(
         f"# first-order resonance: {result.resonance_hz() / 1e6:.1f} MHz"
     )
+    if args.out:
+        out_dir = Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        sweep_name = f"{cluster.name}-sweep.json"
+        (out_dir / sweep_name).write_text(
+            result.to_json(indent=2), encoding="utf-8"
+        )
+        manifest.event_log = log_name
+        manifest.add_artifact(sweep_name)
+        manifest.write(out_dir)
+        print(f"# archived to {out_dir / sweep_name}")
+    log.close()
     return 0
 
 
 def cmd_virus(args) -> int:
+    from dataclasses import asdict
+
+    from repro.io.serialization import (
+        load_checkpoint,
+        save_virus_archive,
+    )
+
     cluster = resolve_cluster(args.platform)
     config = GAConfig(
         population_size=args.population,
@@ -109,8 +175,25 @@ def cmd_virus(args) -> int:
         seed=args.seed,
         workers=args.workers,
     )
+    out_dir = Path(args.out) if args.out else None
+    log, log_name = _open_event_log(args)
+    manifest = RunManifest.create(
+        "virus", args.platform, args.seed, config=asdict(config)
+    )
+    checkpoint_path = args.checkpoint
+    if checkpoint_path is None and out_dir is not None:
+        checkpoint_path = out_dir / CHECKPOINT_FILENAME
+    resume = load_checkpoint(args.resume) if args.resume else None
+    if resume is not None:
+        manifest.extra["resumed_from"] = str(args.resume)
+        manifest.extra["resumed_at_generation"] = resume.generation
     generator = VirusGenerator(
-        cluster, make_characterizer(args.seed), config=config
+        cluster,
+        make_characterizer(args.seed),
+        config=config,
+        event_log=log,
+        checkpoint_path=checkpoint_path,
+        checkpoint_every=args.checkpoint_every,
     )
 
     def progress(record):
@@ -121,19 +204,27 @@ def cmd_virus(args) -> int:
             file=sys.stderr,
         )
 
-    summary = generator.generate_em_virus(progress=progress)
+    summary = generator.generate_em_virus(
+        progress=progress, resume=resume
+    )
     print(
         f"# virus for {cluster.name}: dominant "
         f"{summary.dominant_frequency_hz / 1e6:.1f} MHz, droop "
         f"{summary.max_droop_v * 1e3:.1f} mV, IPC {summary.ipc:.2f}"
     )
-    if args.out:
-        from repro.io.serialization import save_virus_archive
-
-        meta = save_virus_archive(summary, args.out)
+    if out_dir is not None:
+        meta = save_virus_archive(summary, out_dir)
+        stem = meta.name[: -len(".meta.json")]
+        manifest.event_log = log_name
+        for suffix in (".meta.json", ".json", ".s", ".summary.json"):
+            manifest.add_artifact(f"{stem}{suffix}")
+        if checkpoint_path is not None and Path(checkpoint_path).exists():
+            manifest.extra["checkpoint"] = Path(checkpoint_path).name
+        manifest.write(out_dir)
         print(f"# archived to {meta}")
     else:
         print(summary.virus.assembly())
+    log.close()
     return 0
 
 
@@ -193,7 +284,6 @@ def cmd_vmin(args) -> int:
 
 def cmd_report(args) -> int:
     from repro.analysis.report import characterize
-    from repro.ga.engine import GAConfig
 
     cluster = resolve_cluster(args.platform)
     config = GAConfig(
@@ -203,18 +293,52 @@ def cmd_report(args) -> int:
         seed=args.seed,
         workers=args.workers,
     )
+    log, log_name = _open_event_log(args)
+    from dataclasses import asdict
+
+    manifest = RunManifest.create(
+        "report", args.platform, args.seed, config=asdict(config)
+    )
     report = characterize(
         cluster,
         make_characterizer(args.seed),
         ga_config=config,
         run_vmin=not args.no_vmin,
         seed=args.seed,
+        event_log=log,
     )
-    print(report.to_markdown())
+    markdown = report.to_markdown()
+    print(markdown)
+    if args.out:
+        out_dir = Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        report_name = f"{cluster.name}-report.md"
+        (out_dir / report_name).write_text(markdown, encoding="utf-8")
+        manifest.event_log = log_name
+        manifest.add_artifact(report_name)
+        manifest.write(out_dir)
+        print(f"# archived to {out_dir / report_name}", file=sys.stderr)
+    log.close()
+    return 0
+
+
+def cmd_provenance(args) -> int:
+    from repro.analysis.report import report_from_provenance
+
+    print(report_from_provenance(args.path))
     return 0
 
 
 # ---------------------------------------------------------------------------
+def _add_artifact_flags(parser) -> None:
+    parser.add_argument("--out", default=None, help="artifact directory")
+    parser.add_argument(
+        "--events",
+        default=None,
+        help="extra event-log destination: a path, or '-' for stderr",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -224,6 +348,9 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("table1", help="print the platform matrix")
+    sub.add_parser(
+        "platforms", help="list the runnable platform registry"
+    )
 
     p = sub.add_parser("impedance", help="PDN impedance seen by the die")
     p.add_argument("--platform", choices=PLATFORM_CHOICES, required=True)
@@ -236,6 +363,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="powered cores (1 active)")
     p.add_argument("--samples", type=int, default=5)
     p.add_argument("--seed", type=int, default=0)
+    _add_artifact_flags(p)
 
     p = sub.add_parser("virus", help="EM-driven GA virus generation")
     p.add_argument("--platform", choices=PLATFORM_CHOICES, required=True)
@@ -246,7 +374,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--workers", type=int, default=1,
                    help="fitness evaluation processes (1 = serial)")
-    p.add_argument("--out", default=None, help="archive directory")
+    p.add_argument("--checkpoint", default=None,
+                   help="checkpoint file (default: <out>/checkpoint.json)")
+    p.add_argument("--checkpoint-every", type=int, default=5,
+                   help="generations between checkpoints")
+    p.add_argument("--resume", default=None,
+                   help="resume from a checkpoint file; continues "
+                   "bit-identically (same flags except --generations "
+                   "and --workers)")
+    _add_artifact_flags(p)
 
     p = sub.add_parser(
         "report", help="full characterization report (markdown)"
@@ -258,6 +394,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--workers", type=int, default=1,
                    help="fitness evaluation processes (1 = serial)")
+    _add_artifact_flags(p)
+
+    p = sub.add_parser(
+        "provenance",
+        help="regenerate a report from an artifact directory's "
+        "manifest + event log (no re-run)",
+    )
+    p.add_argument("path", help="artifact directory or run_manifest.json")
 
     p = sub.add_parser("vmin", help="progressive-undervolting V_MIN test")
     p.add_argument("--platform", choices=PLATFORM_CHOICES, required=True)
@@ -274,11 +418,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 _COMMANDS = {
     "table1": cmd_table1,
+    "platforms": cmd_platforms,
     "impedance": cmd_impedance,
     "sweep": cmd_sweep,
     "virus": cmd_virus,
     "vmin": cmd_vmin,
     "report": cmd_report,
+    "provenance": cmd_provenance,
 }
 
 

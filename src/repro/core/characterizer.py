@@ -15,9 +15,10 @@ from typing import Dict, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.cpu.program import LoopProgram
-from repro.core.results import MultiDomainSpectrum
+from repro.core.results import MeasurementResult, MultiDomainSpectrum
 from repro.em.radiation import DieRadiator, EmissionSpectrum, combine_emissions
 from repro.instruments.spectrum_analyzer import SpectrumAnalyzer, SpectrumTrace
+from repro.obs.context import RunContext
 from repro.platforms.base import Cluster, ClusterRun
 
 FIRST_ORDER_BAND = (50.0e6, 200.0e6)
@@ -78,6 +79,54 @@ class EMCharacterizer:
             trace=trace,
             run=run,
         )
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        ctx: RunContext,
+        program: Optional[LoopProgram] = None,
+        samples: Optional[int] = None,
+    ) -> MeasurementResult:
+        """Unified entry point: measure ``ctx.cluster`` and return a
+        JSON-round-trippable :class:`MeasurementResult`.
+
+        ``program`` defaults to the fixed high/low sweep loop of
+        Section 5.3 -- the canonical "point the antenna at it" probe.
+        """
+        if program is None:
+            from repro.workloads.loops import high_low_program
+
+            program = high_low_program(ctx.cluster.spec.isa)
+        ctx.event_log.emit(
+            "em_measurement_start",
+            cluster=ctx.cluster.name,
+            program=program.name,
+            band_hz=self.band,
+        )
+        measurement = self.measure(
+            ctx.cluster,
+            program,
+            active_cores=ctx.active_cores,
+            samples=samples,
+        )
+        result = MeasurementResult(
+            cluster_name=ctx.cluster.name,
+            program_name=program.name,
+            amplitude_w=measurement.amplitude_w,
+            peak_frequency_hz=measurement.peak_frequency_hz,
+            loop_frequency_hz=measurement.loop_frequency_hz,
+            band_hz=self.band,
+            frequencies_hz=measurement.trace.frequencies_hz,
+            power_dbm=measurement.trace.power_dbm,
+        )
+        ctx.event_log.emit(
+            "em_measurement_end",
+            cluster=ctx.cluster.name,
+            amplitude_w=result.amplitude_w,
+            peak_frequency_hz=result.peak_frequency_hz,
+            loop_frequency_hz=result.loop_frequency_hz,
+        )
+        return result
 
     # ------------------------------------------------------------------
     def monitor_domains(

@@ -11,12 +11,16 @@ Figs. 11, 13 and 16.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core.characterizer import EMCharacterizer
+from repro.core.results import JsonResultMixin
+from repro.obs.context import RunContext
+from repro.obs.events import NULL_LOG
 from repro.platforms.base import Cluster
 from repro.workloads.loops import high_low_program
 
@@ -31,12 +35,14 @@ class SweepPoint:
 
 
 @dataclass
-class SweepResult:
+class SweepResult(JsonResultMixin):
     """Outcome of a clock-modulated loop-frequency sweep."""
 
     cluster_name: str
     powered_cores: int
     points: List[SweepPoint]
+
+    kind = "resonance-sweep"
 
     def resonance_hz(self) -> float:
         """Loop frequency with the maximum EM amplitude."""
@@ -49,6 +55,35 @@ class SweepResult:
         return (
             np.array([p.loop_frequency_hz for p in pts]),
             np.array([p.amplitude_w for p in pts]),
+        )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "cluster_name": self.cluster_name,
+            "powered_cores": self.powered_cores,
+            "points": [
+                {
+                    "clock_hz": p.clock_hz,
+                    "loop_frequency_hz": p.loop_frequency_hz,
+                    "amplitude_w": p.amplitude_w,
+                }
+                for p in self.points
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SweepResult":
+        return cls(
+            cluster_name=data["cluster_name"],
+            powered_cores=int(data["powered_cores"]),
+            points=[
+                SweepPoint(
+                    clock_hz=float(p["clock_hz"]),
+                    loop_frequency_hz=float(p["loop_frequency_hz"]),
+                    amplitude_w=float(p["amplitude_w"]),
+                )
+                for p in data["points"]
+            ],
         )
 
 
@@ -65,21 +100,47 @@ class ResonanceSweep:
 
     def run(
         self,
-        cluster: Cluster,
+        target: Union[RunContext, Cluster],
         clocks_hz: Optional[Sequence[float]] = None,
         active_cores: Optional[int] = None,
     ) -> SweepResult:
         """Sweep the cluster clock and record the EM spike amplitude.
 
+        ``target`` is a :class:`repro.obs.context.RunContext`; the
+        sweep runs against ``target.cluster`` and reports each point to
+        ``target.event_log``.  Passing a bare :class:`Cluster` is the
+        deprecated pre-context signature and still works.
+
         ``clocks_hz`` defaults to every multiplier-reachable point from
         nominal down (the paper steps the A72 from 1.2 GHz to 120 MHz
         in 20 MHz steps).  The cluster's clock is restored afterwards.
         """
+        if isinstance(target, RunContext):
+            cluster = target.cluster
+            event_log = target.event_log
+            if active_cores is None:
+                active_cores = target.active_cores
+        else:
+            warnings.warn(
+                "ResonanceSweep.run(cluster) is deprecated; pass a "
+                "repro.obs.RunContext",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            cluster = target
+            event_log = NULL_LOG
         program = high_low_program(cluster.spec.isa)
         clocks = (
             list(clocks_hz)
             if clocks_hz is not None
             else list(cluster.spec.allowed_clocks_hz())
+        )
+        event_log.emit(
+            "sweep_start",
+            cluster=cluster.name,
+            points=len(clocks),
+            powered_cores=cluster.powered_cores,
+            samples_per_point=self.samples_per_point,
         )
         saved_clock = cluster.clock_hz
         points: List[SweepPoint] = []
@@ -99,17 +160,29 @@ class ResonanceSweep:
                         amplitude_w=measurement.amplitude_w,
                     )
                 )
+                event_log.emit(
+                    "sweep_point",
+                    clock_hz=clock,
+                    loop_frequency_hz=measurement.loop_frequency_hz,
+                    amplitude_w=measurement.amplitude_w,
+                )
         finally:
             cluster.set_clock(saved_clock)
-        return SweepResult(
+        result = SweepResult(
             cluster_name=cluster.name,
             powered_cores=cluster.powered_cores,
             points=points,
         )
+        event_log.emit(
+            "sweep_end",
+            cluster=cluster.name,
+            resonance_hz=result.resonance_hz() if points else None,
+        )
+        return result
 
     def power_gating_study(
         self,
-        cluster: Cluster,
+        target: Union[RunContext, Cluster],
         core_counts: Optional[Sequence[int]] = None,
         clocks_hz: Optional[Sequence[float]] = None,
     ) -> List[SweepResult]:
@@ -119,6 +192,11 @@ class ResonanceSweep:
         current is constant and amplitude differences isolate the PDN
         capacitance change -- the Section 6 experiment.
         """
+        if isinstance(target, RunContext):
+            ctx = target
+        else:
+            ctx = RunContext(cluster=target)
+        cluster = ctx.cluster
         counts = (
             list(core_counts)
             if core_counts is not None
@@ -130,7 +208,7 @@ class ResonanceSweep:
             for count in counts:
                 cluster.power_gate(count)
                 results.append(
-                    self.run(cluster, clocks_hz=clocks_hz, active_cores=1)
+                    self.run(ctx, clocks_hz=clocks_hz, active_cores=1)
                 )
         finally:
             cluster.power_gate(saved)

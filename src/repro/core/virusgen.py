@@ -10,13 +10,20 @@ workstation, then killed.
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Sequence, Tuple
+from dataclasses import replace
+from pathlib import Path
+from typing import Callable, Optional, Sequence, Tuple, Union
 
 from repro.core.characterizer import EMCharacterizer, FIRST_ORDER_BAND
 from repro.core.results import GARunSummary
 from repro.cpu.isa import InstructionSpec
 from repro.cpu.program import LoopProgram
-from repro.ga.engine import GAConfig, GAEngine, GenerationRecord
+from repro.ga.engine import (
+    GACheckpoint,
+    GAConfig,
+    GAEngine,
+    GenerationRecord,
+)
 from repro.ga.fitness import (
     ClusterFitness,
     EMAmplitudeFitness,
@@ -26,6 +33,8 @@ from repro.ga.fitness import (
 )
 from repro.instruments.oscilloscope import Oscilloscope
 from repro.instruments.probes import DifferentialProbe
+from repro.obs.context import RunContext
+from repro.obs.events import NULL_LOG, EventLog
 from repro.platforms.base import Cluster, NoiseVisibility
 
 
@@ -39,12 +48,50 @@ class VirusGenerator:
         config: GAConfig = GAConfig(),
         pool: Optional[Sequence[InstructionSpec]] = None,
         active_cores: Optional[int] = None,
+        event_log: Optional[EventLog] = None,
+        checkpoint_path: Optional[Union[str, Path]] = None,
+        checkpoint_every: int = 5,
     ):
         self.cluster = cluster
         self.characterizer = characterizer or EMCharacterizer()
         self.config = config
         self.pool = pool
         self.active_cores = active_cores
+        self.event_log = event_log if event_log is not None else NULL_LOG
+        self.checkpoint_path = checkpoint_path
+        self.checkpoint_every = checkpoint_every
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        ctx: RunContext,
+        band: Tuple[float, float] = FIRST_ORDER_BAND,
+        samples: Optional[int] = None,
+        progress: Optional[Callable[[GenerationRecord], None]] = None,
+        resume: Optional[GACheckpoint] = None,
+    ) -> GARunSummary:
+        """Unified entry point: EM-virus generation under ``ctx``.
+
+        The context supplies the cluster, the GA seed, the worker count
+        and the event log; the generator's :class:`GAConfig` supplies
+        the remaining hyperparameters.  Returns a
+        JSON-round-trippable :class:`GARunSummary`.
+        """
+        runner = VirusGenerator(
+            cluster=ctx.cluster,
+            characterizer=self.characterizer,
+            config=replace(
+                self.config, seed=ctx.seed, workers=ctx.workers
+            ),
+            pool=self.pool,
+            active_cores=ctx.active_cores,
+            event_log=ctx.event_log,
+            checkpoint_path=self.checkpoint_path,
+            checkpoint_every=self.checkpoint_every,
+        )
+        return runner.generate_em_virus(
+            progress=progress, band=band, samples=samples, resume=resume
+        )
 
     # ------------------------------------------------------------------
     def _run_ga(
@@ -52,9 +99,23 @@ class VirusGenerator:
         fitness: Callable[[LoopProgram], FitnessEvaluation],
         metric: str,
         progress: Optional[Callable[[GenerationRecord], None]],
+        resume: Optional[GACheckpoint] = None,
     ) -> GARunSummary:
+        self.event_log.emit(
+            "virus_run_start",
+            cluster=self.cluster.name,
+            metric=metric,
+            resumed=resume is not None,
+        )
         engine = GAEngine(fitness, config=self.config, pool=self.pool)
-        result = engine.run(self.cluster.spec.isa, progress=progress)
+        result = engine.run(
+            self.cluster.spec.isa,
+            progress=progress,
+            event_log=self.event_log,
+            checkpoint_path=self.checkpoint_path,
+            checkpoint_every=self.checkpoint_every,
+            resume=resume,
+        )
         best = result.best
         # Re-measure the winning individual (the paper re-runs the best
         # individuals after the search to collect voltage metrics).
@@ -67,7 +128,7 @@ class VirusGenerator:
             )
         except ValueError:
             dominant = 0.0
-        return GARunSummary(
+        summary = GARunSummary(
             cluster_name=self.cluster.name,
             metric=metric,
             ga_result=result,
@@ -79,6 +140,17 @@ class VirusGenerator:
             loop_frequency_hz=run.loop_frequency_hz,
             loop_period_s=run.loop_period_s,
         )
+        self.event_log.emit(
+            "virus_run_end",
+            cluster=self.cluster.name,
+            metric=metric,
+            best_generation=best.generation,
+            best_score=best.best.score,
+            dominant_frequency_hz=dominant,
+            max_droop_v=run.max_droop,
+            ipc=run.ipc,
+        )
+        return summary
 
     # ------------------------------------------------------------------
     def narrowed_band_from_sweep(
@@ -100,8 +172,12 @@ class VirusGenerator:
             self.characterizer, samples_per_point=samples_per_point
         )
         result = sweep.run(
-            self.cluster, clocks_hz=clocks_hz,
-            active_cores=self.active_cores,
+            RunContext(
+                cluster=self.cluster,
+                event_log=self.event_log,
+                active_cores=self.active_cores,
+            ),
+            clocks_hz=clocks_hz,
         )
         center = result.resonance_hz()
         low, high = FIRST_ORDER_BAND
@@ -115,11 +191,14 @@ class VirusGenerator:
         progress: Optional[Callable[[GenerationRecord], None]] = None,
         band: Tuple[float, float] = FIRST_ORDER_BAND,
         samples: Optional[int] = None,
+        resume: Optional[GACheckpoint] = None,
     ) -> GARunSummary:
         """EM-amplitude-driven virus generation: works on ANY cluster.
 
         This is the paper's headline capability -- no voltage
-        visibility required (the Cortex-A53 case).
+        visibility required (the Cortex-A53 case).  ``resume`` continues
+        a previously checkpointed campaign (see
+        :func:`repro.io.serialization.load_checkpoint`).
         """
         fitness_fn = EMAmplitudeFitness(
             analyzer=self.characterizer.analyzer,
@@ -132,6 +211,7 @@ class VirusGenerator:
             ClusterFitness(fitness_fn, self.cluster),
             metric="em-amplitude",
             progress=progress,
+            resume=resume,
         )
 
     def generate_droop_virus(

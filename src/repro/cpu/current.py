@@ -28,6 +28,7 @@ from typing import Optional
 import numpy as np
 
 from repro.cpu.pipeline import Schedule
+from repro.obs.timing import timed_kernel
 
 
 @dataclass(frozen=True)
@@ -51,6 +52,7 @@ class CurrentModel:
     frontend_energy: float = 0.25
     smoothing_cycles: int = 4
 
+    @timed_kernel("cpu.current.trace")
     def trace(self, schedule: Schedule) -> np.ndarray:
         """Per-cycle current (amperes) over one steady loop iteration."""
         cycles = schedule.cycles
@@ -114,6 +116,7 @@ class CurrentModel:
     def mean_current(self, schedule: Schedule) -> float:
         return float(np.mean(self.trace(schedule)))
 
+    @timed_kernel("cpu.current.window_trace")
     def window_trace(self, windowed) -> np.ndarray:
         """Per-cycle current over a full multi-iteration window.
 

@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.cpu.isa import ExecutionUnit, Instruction, RegisterFile
 from repro.cpu.program import LoopProgram
+from repro.obs.timing import timed_kernel
 
 DEFAULT_UNIT_COUNTS: Dict[ExecutionUnit, int] = {
     ExecutionUnit.ALU: 2,
@@ -131,6 +132,7 @@ class Pipeline:
         self.config = config
 
     # ------------------------------------------------------------------
+    @timed_kernel("cpu.pipeline.execute")
     def execute(
         self,
         program: LoopProgram,

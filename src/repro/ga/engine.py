@@ -5,12 +5,22 @@ tournament, cross over, mutate, repeat.  Fitness evaluations are
 memoized on the individual's genome because converged populations
 contain many clones -- the same economy a real setup gets by caching
 measurement results per binary.
+
+Long campaigns are observable and resumable: ``GAEngine.run`` emits
+structured events (generation boundaries, scores, cache statistics,
+per-kernel timings) to an :class:`repro.obs.events.EventLog`, and can
+periodically serialize its complete state -- population, GA RNG state,
+measurement-chain RNG state, memo cache and history -- as a
+:class:`GACheckpoint`.  Resuming from a checkpoint continues the
+campaign bit-identically to an uninterrupted run (pinned by
+``tests/ga/test_checkpoint.py``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -23,6 +33,8 @@ from repro.ga.operators import (
     tournament_selection,
 )
 from repro.ga.parallel import ParallelEvaluator
+from repro.obs.events import NULL_LOG, EventLog
+from repro.obs.timing import collect_kernel_timings
 
 
 @dataclass(frozen=True)
@@ -69,6 +81,28 @@ class GenerationRecord:
 
 
 @dataclass
+class GACheckpoint:
+    """Complete mid-campaign GA state.
+
+    ``generation`` is the index of the next generation to evaluate;
+    ``population`` is that generation's individuals; ``rng_state`` is
+    the GA generator's bit-generator state *after* producing them, and
+    ``fitness_state`` captures the measurement chain's RNG (see
+    ``fitness_state()`` on the fitness callables) so fresh evaluations
+    after a resume draw the same noise an uninterrupted run would.
+    """
+
+    config: GAConfig
+    generation: int
+    population: List[LoopProgram]
+    rng_state: dict
+    cache: Dict[Tuple, FitnessEvaluation]
+    history: List[GenerationRecord]
+    evaluations: int
+    fitness_state: Optional[dict] = None
+
+
+@dataclass
 class GAResult:
     """Outcome of a GA run."""
 
@@ -78,7 +112,12 @@ class GAResult:
 
     @property
     def best(self) -> GenerationRecord:
-        return max(self.history, key=lambda r: r.best.score)
+        # Score ties break toward the earliest generation, so resumed
+        # and multi-worker runs report the same champion regardless of
+        # how the history was assembled.
+        return max(
+            self.history, key=lambda r: (r.best.score, -r.generation)
+        )
 
     @property
     def best_program(self) -> LoopProgram:
@@ -94,6 +133,21 @@ class GAResult:
         return np.array(
             [r.best.dominant_frequency_hz for r in self.history]
         )
+
+    def to_json(self) -> str:
+        from repro.io.serialization import ga_result_to_dict
+
+        import json
+
+        return json.dumps(ga_result_to_dict(self))
+
+    @classmethod
+    def from_json(cls, text: str) -> "GAResult":
+        from repro.io.serialization import ga_result_from_dict
+
+        import json
+
+        return ga_result_from_dict(json.loads(text))
 
 
 class GAEngine:
@@ -177,21 +231,98 @@ class GAEngine:
             for i in range(self.config.population_size)
         ]
 
+    # ------------------------------------------------------------------
+    # checkpoint plumbing
+    # ------------------------------------------------------------------
+    def _capture_fitness_state(self) -> Optional[dict]:
+        capture = getattr(self._fitness, "fitness_state", None)
+        return capture() if capture is not None else None
+
+    def _restore_fitness_state(self, state: Optional[dict]) -> None:
+        if state is None:
+            return
+        restore = getattr(self._fitness, "restore_fitness_state", None)
+        if restore is not None:
+            restore(state)
+
+    def _check_resume_config(self, resumed: GAConfig) -> None:
+        """Search hyperparameters must match; ``generations`` may be
+        extended and ``workers`` re-chosen on resume."""
+        ours = replace(self.config, generations=1, workers=1)
+        theirs = replace(resumed, generations=1, workers=1)
+        if ours != theirs:
+            raise ValueError(
+                "checkpoint config does not match engine config: "
+                f"{resumed} vs {self.config}"
+            )
+
+    def _make_checkpoint(
+        self,
+        generation: int,
+        population: Sequence[LoopProgram],
+        rng: np.random.Generator,
+        history: Sequence[GenerationRecord],
+        evaluations: int,
+    ) -> GACheckpoint:
+        return GACheckpoint(
+            config=self.config,
+            generation=generation,
+            population=list(population),
+            rng_state=rng.bit_generator.state,
+            cache=dict(self._cache),
+            history=list(history),
+            evaluations=evaluations,
+            fitness_state=self._capture_fitness_state(),
+        )
+
     def run(
         self,
         isa,
         initial_population: Optional[Sequence[LoopProgram]] = None,
         progress: Optional[Callable[[GenerationRecord], None]] = None,
+        event_log: Optional[EventLog] = None,
+        checkpoint_path: Optional[Union[str, Path]] = None,
+        checkpoint_every: int = 5,
+        resume: Optional[GACheckpoint] = None,
     ) -> GAResult:
         """Run the full optimization and return per-generation history.
 
-        ``initial_population`` allows resuming from a previous run
+        ``initial_population`` allows seeding from a previous run
         (Section 3.1a); otherwise a fresh random seed population is
         drawn.
+
+        ``event_log`` receives structured telemetry (``ga_run_start``,
+        ``generation_start``/``generation_end`` with scores, cache and
+        dispatch statistics plus per-kernel timings, ``checkpoint_saved``,
+        ``ga_run_end``).  ``checkpoint_path`` enables periodic state
+        serialization every ``checkpoint_every`` completed generations;
+        ``resume`` restores a :class:`GACheckpoint` (see
+        :func:`repro.io.serialization.load_checkpoint`) and continues
+        bit-identically to the uninterrupted run.
         """
         cfg = self.config
+        log = event_log if event_log is not None else NULL_LOG
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")
         rng = np.random.default_rng(cfg.seed)
-        if initial_population is not None:
+        start_gen = 0
+        history: List[GenerationRecord] = []
+        evaluations = 0
+        if resume is not None:
+            if initial_population is not None:
+                raise ValueError(
+                    "pass either resume or initial_population, not both"
+                )
+            self._check_resume_config(resume.config)
+            rng.bit_generator.state = resume.rng_state
+            population = list(resume.population)
+            history = list(resume.history)
+            evaluations = resume.evaluations
+            start_gen = resume.generation
+            if self._memoize:
+                self._cache.update(resume.cache)
+            self._restore_fitness_state(resume.fitness_state)
+        elif initial_population is not None:
             population = list(initial_population)
             if len(population) != cfg.population_size:
                 raise ValueError(
@@ -200,14 +331,24 @@ class GAEngine:
         else:
             population = self._initial_population(isa, rng)
 
-        history: List[GenerationRecord] = []
-        evaluations = 0
+        log.emit(
+            "ga_run_start",
+            config=self._config_dict(),
+            resumed_from_generation=start_gen if resume else None,
+            cache_size=len(self._cache),
+        )
         evaluator = ParallelEvaluator(self._fitness, cfg.workers)
         try:
-            for gen in range(cfg.generations):
-                evals, fresh = self._evaluate_generation(
-                    population, evaluator
+            for gen in range(start_gen, cfg.generations):
+                log.emit(
+                    "generation_start",
+                    generation=gen,
+                    population_size=len(population),
                 )
+                with collect_kernel_timings() as timings:
+                    evals, fresh = self._evaluate_generation(
+                        population, evaluator
+                    )
                 evaluations += fresh
                 scores = [e.score for e in evals]
                 best_idx = int(np.argmax(scores))
@@ -218,6 +359,24 @@ class GAEngine:
                     mean_score=float(np.mean(scores)),
                 )
                 history.append(record)
+                log.emit(
+                    "generation_end",
+                    generation=gen,
+                    best_score=record.best.score,
+                    mean_score=record.mean_score,
+                    best_droop_v=record.best.max_droop_v,
+                    dominant_frequency_hz=(
+                        record.best.dominant_frequency_hz
+                    ),
+                    best_ipc=record.best.ipc,
+                    fresh_evaluations=fresh,
+                    cache_hits=len(population) - fresh,
+                    cache_size=len(self._cache),
+                    dispatched_workers=(
+                        evaluator.workers if evaluator.parallel else 1
+                    ),
+                    kernel_timings=timings.snapshot() or None,
+                )
                 if progress is not None:
                     progress(record)
                 if gen == cfg.generations - 1:
@@ -225,9 +384,42 @@ class GAEngine:
                 population = self._next_generation(
                     population, scores, rng, best_idx
                 )
+                if checkpoint_path is not None and (
+                    (gen + 1) % checkpoint_every == 0
+                ):
+                    from repro.io.serialization import save_checkpoint
+
+                    saved = save_checkpoint(
+                        self._make_checkpoint(
+                            gen + 1, population, rng, history, evaluations
+                        ),
+                        checkpoint_path,
+                    )
+                    log.emit(
+                        "checkpoint_saved",
+                        generation=gen + 1,
+                        path=str(saved),
+                        cache_size=len(self._cache),
+                    )
         finally:
             evaluator.close()
-        return GAResult(config=cfg, history=history, evaluations=evaluations)
+        result = GAResult(
+            config=cfg, history=history, evaluations=evaluations
+        )
+        best = result.best
+        log.emit(
+            "ga_run_end",
+            generations=len(history),
+            evaluations=evaluations,
+            best_generation=best.generation,
+            best_score=best.best.score,
+        )
+        return result
+
+    def _config_dict(self) -> dict:
+        from dataclasses import asdict
+
+        return asdict(self.config)
 
     def _next_generation(
         self,

@@ -70,6 +70,17 @@ class ClusterFitness:
     def __call__(self, program: LoopProgram) -> "FitnessEvaluation":
         return self.fitness(self.cluster, program)
 
+    # Checkpoint protocol: delegate measurement-chain RNG state to the
+    # wrapped fitness so GA checkpoints capture it (see GACheckpoint).
+    def fitness_state(self) -> Optional[dict]:
+        capture = getattr(self.fitness, "fitness_state", None)
+        return capture() if capture is not None else None
+
+    def restore_fitness_state(self, state: Optional[dict]) -> None:
+        restore = getattr(self.fitness, "restore_fitness_state", None)
+        if restore is not None:
+            restore(state)
+
 
 @dataclass
 class EMAmplitudeFitness:
@@ -96,6 +107,23 @@ class EMAmplitudeFitness:
             self.radiator = DieRadiator()
         if self.cache_model is not None and self.memory_rng is None:
             raise ValueError("cache_model requires a memory_rng")
+
+    # Checkpoint protocol: the spectrum analyzer's noise RNG advances
+    # with every fresh measurement, so bit-identical resume requires
+    # carrying its state across the checkpoint boundary.
+    def fitness_state(self) -> dict:
+        state = {"analyzer_rng": self.analyzer.rng.bit_generator.state}
+        if self.memory_rng is not None:
+            state["memory_rng"] = self.memory_rng.bit_generator.state
+        return state
+
+    def restore_fitness_state(self, state: Optional[dict]) -> None:
+        if not state:
+            return
+        if "analyzer_rng" in state:
+            self.analyzer.rng.bit_generator.state = state["analyzer_rng"]
+        if "memory_rng" in state and self.memory_rng is not None:
+            self.memory_rng.bit_generator.state = state["memory_rng"]
 
     def __call__(
         self, cluster: Cluster, program: LoopProgram

@@ -1,10 +1,17 @@
-"""JSON round-trips for loop programs and virus archives."""
+"""JSON round-trips for loop programs, virus archives, GA state.
+
+Everything the run harness persists flows through here: single
+programs, whole populations, virus archives, per-generation GA history
+and mid-campaign checkpoints (population + RNG state + memo cache +
+history), so the on-disk formats stay versioned in one place.
+"""
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, Optional, Tuple, Union
 
 from repro.cpu.arm import ARM_ISA
 from repro.cpu.isa import Instruction, InstructionSet, RegisterFile
@@ -170,6 +177,11 @@ def save_virus_archive(
     (directory / f"{stem}.s").write_text(
         render_individual_source(summary.virus), encoding="utf-8"
     )
+    # Full GA provenance (per-generation history + config), so reports
+    # can be regenerated from the archive without re-running the search.
+    (directory / f"{stem}.summary.json").write_text(
+        summary.to_json(indent=2), encoding="utf-8"
+    )
     metadata = {
         "format_version": FORMAT_VERSION,
         "cluster": summary.cluster_name,
@@ -183,6 +195,7 @@ def save_virus_archive(
         "loop_period_s": summary.loop_period_s,
         "program_file": f"{stem}.json",
         "assembly_file": f"{stem}.s",
+        "summary_file": f"{stem}.summary.json",
     }
     meta_path = directory / f"{stem}.meta.json"
     meta_path.write_text(json.dumps(metadata, indent=2), encoding="utf-8")
@@ -198,3 +211,193 @@ def load_virus_archive(meta_path: Union[str, Path]):
         raise SerializationError(f"invalid JSON: {exc}") from exc
     program = load_program(meta_path.parent / metadata["program_file"])
     return program, metadata
+
+
+# ---------------------------------------------------------------------------
+# GA state: evaluations, generation records, results, checkpoints.
+# ---------------------------------------------------------------------------
+def evaluation_to_dict(evaluation) -> dict:
+    """Serialize a :class:`repro.ga.fitness.FitnessEvaluation`."""
+    return {
+        "score": evaluation.score,
+        "dominant_frequency_hz": evaluation.dominant_frequency_hz,
+        "max_droop_v": evaluation.max_droop_v,
+        "peak_to_peak_v": evaluation.peak_to_peak_v,
+        "ipc": evaluation.ipc,
+        "loop_frequency_hz": evaluation.loop_frequency_hz,
+    }
+
+
+def evaluation_from_dict(data: dict):
+    from repro.ga.fitness import FitnessEvaluation
+
+    try:
+        return FitnessEvaluation(
+            score=float(data["score"]),
+            dominant_frequency_hz=float(data["dominant_frequency_hz"]),
+            max_droop_v=float(data["max_droop_v"]),
+            peak_to_peak_v=float(data["peak_to_peak_v"]),
+            ipc=float(data["ipc"]),
+            loop_frequency_hz=float(data["loop_frequency_hz"]),
+        )
+    except (KeyError, TypeError) as exc:
+        raise SerializationError(f"malformed evaluation: {exc}") from exc
+
+
+def record_to_dict(record) -> dict:
+    """Serialize a :class:`repro.ga.engine.GenerationRecord`."""
+    return {
+        "generation": record.generation,
+        "mean_score": record.mean_score,
+        "best": evaluation_to_dict(record.best),
+        "best_program": program_to_dict(record.best_program),
+    }
+
+
+def record_from_dict(data: dict):
+    from repro.ga.engine import GenerationRecord
+
+    try:
+        return GenerationRecord(
+            generation=int(data["generation"]),
+            best_program=program_from_dict(data["best_program"]),
+            best=evaluation_from_dict(data["best"]),
+            mean_score=float(data["mean_score"]),
+        )
+    except (KeyError, TypeError) as exc:
+        raise SerializationError(f"malformed record: {exc}") from exc
+
+
+def ga_config_to_dict(config) -> dict:
+    from dataclasses import asdict
+
+    return asdict(config)
+
+
+def ga_config_from_dict(data: dict):
+    from repro.ga.engine import GAConfig
+
+    try:
+        return GAConfig(**data)
+    except TypeError as exc:
+        raise SerializationError(f"malformed GA config: {exc}") from exc
+
+
+def ga_result_to_dict(result) -> dict:
+    """Serialize a :class:`repro.ga.engine.GAResult`."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "config": ga_config_to_dict(result.config),
+        "history": [record_to_dict(r) for r in result.history],
+        "evaluations": result.evaluations,
+    }
+
+
+def ga_result_from_dict(data: dict):
+    from repro.ga.engine import GAResult
+
+    try:
+        return GAResult(
+            config=ga_config_from_dict(data["config"]),
+            history=[record_from_dict(r) for r in data["history"]],
+            evaluations=int(data["evaluations"]),
+        )
+    except (KeyError, TypeError) as exc:
+        raise SerializationError(f"malformed GA result: {exc}") from exc
+
+
+def genome_to_list(genome: Tuple[Tuple, ...]) -> list:
+    """JSON form of :meth:`repro.cpu.program.LoopProgram.genome`."""
+    return [
+        [mnemonic, dest, list(sources), address]
+        for mnemonic, dest, sources, address in genome
+    ]
+
+
+def genome_from_list(data: list) -> Tuple[Tuple, ...]:
+    try:
+        return tuple(
+            (
+                str(mnemonic),
+                None if dest is None else int(dest),
+                tuple(int(s) for s in sources),
+                None if address is None else int(address),
+            )
+            for mnemonic, dest, sources, address in data
+        )
+    except (TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed genome: {exc}") from exc
+
+
+def checkpoint_to_dict(checkpoint) -> dict:
+    """Serialize a :class:`repro.ga.engine.GACheckpoint`."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "kind": "ga-checkpoint",
+        "config": ga_config_to_dict(checkpoint.config),
+        "generation": checkpoint.generation,
+        "evaluations": checkpoint.evaluations,
+        "rng_state": checkpoint.rng_state,
+        "fitness_state": checkpoint.fitness_state,
+        "population": [program_to_dict(p) for p in checkpoint.population],
+        "cache": [
+            [genome_to_list(genome), evaluation_to_dict(evaluation)]
+            for genome, evaluation in checkpoint.cache.items()
+        ],
+        "history": [record_to_dict(r) for r in checkpoint.history],
+    }
+
+
+def checkpoint_from_dict(data: dict):
+    from repro.ga.engine import GACheckpoint
+
+    if data.get("kind") != "ga-checkpoint":
+        raise SerializationError("not a GA checkpoint")
+    if data.get("format_version") != FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported checkpoint version {data.get('format_version')!r}"
+        )
+    try:
+        return GACheckpoint(
+            config=ga_config_from_dict(data["config"]),
+            generation=int(data["generation"]),
+            population=[
+                program_from_dict(p) for p in data["population"]
+            ],
+            rng_state=data["rng_state"],
+            cache={
+                genome_from_list(genome): evaluation_from_dict(ev)
+                for genome, ev in data["cache"]
+            },
+            history=[record_from_dict(r) for r in data["history"]],
+            evaluations=int(data["evaluations"]),
+            fitness_state=data.get("fitness_state"),
+        )
+    except (KeyError, TypeError) as exc:
+        raise SerializationError(f"malformed checkpoint: {exc}") from exc
+
+
+def save_checkpoint(checkpoint, path: Union[str, Path]) -> Path:
+    """Atomically write a GA checkpoint to ``path``.
+
+    The file is staged next to the target and moved into place with
+    :func:`os.replace`, so a run killed mid-write leaves either the
+    previous checkpoint or the new one -- never a torn file.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    staging = path.with_name(path.name + ".tmp")
+    staging.write_text(
+        json.dumps(checkpoint_to_dict(checkpoint)), encoding="utf-8"
+    )
+    os.replace(staging, path)
+    return path
+
+
+def load_checkpoint(path: Union[str, Path]):
+    """Read a GA checkpoint back from ``path``."""
+    try:
+        data = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid JSON: {exc}") from exc
+    return checkpoint_from_dict(data)

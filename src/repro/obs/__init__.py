@@ -1,0 +1,49 @@
+"""Run-harness observability: structured telemetry and provenance.
+
+The paper's GA campaigns run for days against real instruments; the
+simulated equivalents here are likewise the dominant wall-clock cost.
+This package gives every long-running path the observability of a
+training stack:
+
+- :mod:`repro.obs.events` -- :class:`EventLog`, a timestamped JSONL
+  event stream with pluggable sinks (file, stderr, in-memory).
+- :mod:`repro.obs.timing` -- lightweight per-kernel wall-time
+  accumulation (scheduler, current model, transient solver) that the
+  GA engine folds into its per-generation events.
+- :mod:`repro.obs.manifest` -- :class:`RunManifest`, the
+  machine-readable provenance record written next to every artifact.
+- :mod:`repro.obs.context` -- :class:`RunContext`, the shared
+  experiment context (cluster, seed, event log, workers) accepted by
+  every ``.run()`` entry point.
+"""
+
+from repro.obs.context import RunContext
+from repro.obs.events import (
+    EVENT_SCHEMA_VERSION,
+    EventLog,
+    JsonlFileSink,
+    MemorySink,
+    StderrSink,
+)
+from repro.obs.manifest import MANIFEST_FILENAME, RunManifest
+from repro.obs.timing import (
+    KernelTimings,
+    collect_kernel_timings,
+    kernel_section,
+    timed_kernel,
+)
+
+__all__ = [
+    "EVENT_SCHEMA_VERSION",
+    "EventLog",
+    "JsonlFileSink",
+    "MemorySink",
+    "StderrSink",
+    "KernelTimings",
+    "collect_kernel_timings",
+    "kernel_section",
+    "timed_kernel",
+    "MANIFEST_FILENAME",
+    "RunManifest",
+    "RunContext",
+]

@@ -1,0 +1,54 @@
+"""The shared experiment context.
+
+Every experiment-facing entry point (:class:`~repro.core.characterizer.
+EMCharacterizer`, :class:`~repro.core.resonance.ResonanceSweep`,
+:class:`~repro.core.virusgen.VirusGenerator`) accepts a
+:class:`RunContext` through its ``.run(ctx)`` method: one object
+carrying the cluster under test, the run seed, the event log and the
+worker count, instead of each class growing its own ad-hoc signature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.obs.events import NULL_LOG, EventLog
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.platforms.base import Cluster
+
+
+@dataclass
+class RunContext:
+    """Everything an experiment run needs besides its own knobs.
+
+    Attributes
+    ----------
+    cluster:
+        The cluster under test.
+    seed:
+        Run seed; seeds instrument RNGs and the GA.
+    event_log:
+        Telemetry destination; defaults to the shared disabled log.
+    workers:
+        Fitness-evaluation processes for GA-backed experiments.
+    active_cores:
+        Cores executing the workload (``None`` = all powered cores).
+    """
+
+    cluster: "Cluster"
+    seed: int = 0
+    event_log: EventLog = field(default_factory=lambda: NULL_LOG)
+    workers: int = 1
+    active_cores: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.event_log is None:
+            self.event_log = NULL_LOG
+
+    @property
+    def cluster_name(self) -> str:
+        return self.cluster.name

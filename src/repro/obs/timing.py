@@ -1,0 +1,110 @@
+"""Per-kernel wall-time accumulation for the evaluation hot path.
+
+The three compute kernels behind every fitness evaluation -- the issue
+scheduler (:meth:`repro.cpu.pipeline.Pipeline.execute`), the current
+model (:meth:`repro.cpu.current.CurrentModel.trace`) and the transient
+PDN solver (:meth:`repro.pdn.transient.TransientSolver.run`) -- wrap
+their bodies in :func:`kernel_section`.  When no collector is active
+(the default) the wrapper is a single module-global check; inside
+:func:`collect_kernel_timings` each section accumulates call counts and
+total seconds, which the GA engine folds into its per-generation
+``kernel_timings`` events.
+
+Collection is process-local: with ``GAConfig.workers > 1`` the kernels
+run in worker processes and the parent's collector only sees the
+re-measurement of champions.  Timings are observability, not a
+determinism input -- they never feed back into the computation.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+
+class KernelTimings:
+    """Accumulated wall time per named kernel section."""
+
+    def __init__(self) -> None:
+        self.total_s: Dict[str, float] = {}
+        self.calls: Dict[str, int] = {}
+
+    def add(self, name: str, seconds: float) -> None:
+        self.total_s[name] = self.total_s.get(name, 0.0) + seconds
+        self.calls[name] = self.calls.get(name, 0) + 1
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        """``{kernel: {"calls": n, "total_s": seconds}}`` for events."""
+        return {
+            name: {
+                "calls": self.calls[name],
+                "total_s": round(self.total_s[name], 6),
+            }
+            for name in sorted(self.total_s)
+        }
+
+    def clear(self) -> None:
+        self.total_s.clear()
+        self.calls.clear()
+
+    def __bool__(self) -> bool:
+        return bool(self.total_s)
+
+
+# The active collector; kernels check this one global per call, so the
+# disabled path costs a load and a comparison.
+_ACTIVE: Optional[KernelTimings] = None
+
+
+@contextmanager
+def collect_kernel_timings(
+    collector: Optional[KernelTimings] = None,
+) -> Iterator[KernelTimings]:
+    """Activate (or reuse) a collector for the duration of the block."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = collector if collector is not None else KernelTimings()
+    try:
+        yield _ACTIVE
+    finally:
+        _ACTIVE = previous
+
+
+@contextmanager
+def kernel_section(name: str) -> Iterator[None]:
+    """Time one kernel invocation into the active collector, if any."""
+    collector = _ACTIVE
+    if collector is None:
+        yield
+        return
+    start = time.monotonic()
+    try:
+        yield
+    finally:
+        collector.add(name, time.monotonic() - start)
+
+
+def timed_kernel(name: str):
+    """Decorator form of :func:`kernel_section` for whole kernels.
+
+    With no active collector the overhead is one global load per call,
+    so it is safe on production hot paths.
+    """
+    import functools
+
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            collector = _ACTIVE
+            if collector is None:
+                return fn(*args, **kwargs)
+            start = time.monotonic()
+            try:
+                return fn(*args, **kwargs)
+            finally:
+                collector.add(name, time.monotonic() - start)
+
+        return wrapper
+
+    return decorate

@@ -19,6 +19,7 @@ from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.obs.timing import timed_kernel
 from repro.pdn.impedance import analyze_ac
 from repro.pdn.netlist import Circuit
 
@@ -151,6 +152,7 @@ class SteadyStateSolver:
         self._tf_cache[key] = (z, h_i)
         return z, h_i
 
+    @timed_kernel("pdn.steady_state.solve")
     def solve(
         self, load_current: np.ndarray, sample_rate_hz: float
     ) -> PeriodicResponse:

@@ -26,6 +26,7 @@ from typing import Dict, Optional
 import numpy as np
 from scipy.linalg import lu_factor, lu_solve
 
+from repro.obs.timing import timed_kernel
 from repro.pdn.elements import Capacitor, CurrentSource, Inductor, VoltageSource
 from repro.pdn.impedance import dc_operating_point
 from repro.pdn.netlist import Circuit, MNALayout
@@ -216,6 +217,7 @@ class TransientSolver:
             x[layout.branch(e.name)] = x_dc[layout.branch(e.name)]
         return x
 
+    @timed_kernel("pdn.transient.run")
     def run(
         self,
         duration: float,

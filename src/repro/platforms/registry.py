@@ -1,11 +1,20 @@
-"""The Table 1 platform matrix as queryable data."""
+"""The Table 1 platform matrix as queryable data.
+
+Besides the paper's rows, this module is the single source of truth
+for *runnable* platforms: every CLI platform key maps to a
+:class:`PlatformEntry` carrying its Table 1 row (when the paper has
+one) and a factory building the cluster at its nominal state.  The CLI
+(``resolve_cluster``, ``--platform`` choices and the ``platforms``
+subcommand) dispatches through this registry instead of hand-rolled
+string comparisons, so adding a platform is one entry here.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.platforms.base import NoiseVisibility
+from repro.platforms.base import Cluster, NoiseVisibility
 
 
 @dataclass(frozen=True)
@@ -69,6 +78,126 @@ def by_cpu(cpu: str) -> PlatformInfo:
         if row.cpu.lower() == cpu.lower():
             return row
     raise KeyError(f"no platform row for CPU {cpu!r}")
+
+
+# ---------------------------------------------------------------------------
+# Runnable platform registry (CLI keys -> cluster factories).
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class PlatformEntry:
+    """One runnable platform: CLI key, Table 1 row, cluster factory.
+
+    ``info`` is ``None`` for extensions beyond the paper's matrix (the
+    GPU card of Section 10's future work).  Factories are lazy so
+    importing the registry never builds PDN models.
+    """
+
+    key: str
+    description: str
+    make_cluster: Callable[[], Cluster]
+    info: Optional[PlatformInfo] = None
+
+    @property
+    def in_table1(self) -> bool:
+        return self.info is not None
+
+
+def _make_a72() -> Cluster:
+    from repro.platforms.juno import make_juno_board
+
+    return make_juno_board().a72
+
+
+def _make_a53() -> Cluster:
+    from repro.platforms.juno import make_juno_board
+
+    return make_juno_board().a53
+
+
+def _make_amd() -> Cluster:
+    from repro.platforms.amd import make_amd_desktop
+
+    return make_amd_desktop().cpu
+
+
+def _make_gpu() -> Cluster:
+    from repro.platforms.gpu import make_gpu_card
+
+    return make_gpu_card().gpu
+
+
+PLATFORM_REGISTRY: Dict[str, PlatformEntry] = {
+    "a72": PlatformEntry(
+        key="a72",
+        description="ARM Juno R2 Cortex-A72 cluster (OC-DSO visibility)",
+        make_cluster=_make_a72,
+        info=by_cpu("Cortex-A72"),
+    ),
+    "a53": PlatformEntry(
+        key="a53",
+        description="ARM Juno R2 Cortex-A53 cluster (no visibility)",
+        make_cluster=_make_a53,
+        info=by_cpu("Cortex-A53"),
+    ),
+    "amd": PlatformEntry(
+        key="amd",
+        description="AMD Athlon II X4 645 desktop (Kelvin pads)",
+        make_cluster=_make_amd,
+        info=by_cpu("Athlon II X4 645"),
+    ),
+    "gpu": PlatformEntry(
+        key="gpu",
+        description="8-CU GPU card (Section 10 future-work extension)",
+        make_cluster=_make_gpu,
+        info=None,
+    ),
+}
+
+
+def platform_keys() -> Tuple[str, ...]:
+    """Every runnable platform key, in registry order."""
+    return tuple(PLATFORM_REGISTRY)
+
+
+def resolve(key: str) -> PlatformEntry:
+    """Look a platform up by CLI key."""
+    try:
+        return PLATFORM_REGISTRY[key]
+    except KeyError:
+        known = ", ".join(PLATFORM_REGISTRY)
+        raise KeyError(
+            f"unknown platform {key!r} (known: {known})"
+        ) from None
+
+
+def make_cluster(key: str) -> Cluster:
+    """Build the named platform's cluster at its nominal state."""
+    return resolve(key).make_cluster()
+
+
+def render_registry() -> str:
+    """Format the runnable-platform registry for the CLI."""
+    headers = ["key", "cluster", "cores", "visibility", "description"]
+    rows: List[List[str]] = [headers]
+    for entry in PLATFORM_REGISTRY.values():
+        if entry.info is not None:
+            cluster_name = entry.info.cpu
+            cores = str(entry.info.num_cores)
+            visibility = entry.info.visibility.value
+        else:
+            cluster_name = "(extension)"
+            cores = "-"
+            visibility = NoiseVisibility.NONE.value
+        rows.append(
+            [entry.key, cluster_name, cores, visibility, entry.description]
+        )
+    widths = [max(len(r[i]) for r in rows) for i in range(len(headers))]
+    lines = [
+        "  ".join(cell.ljust(w) for cell, w in zip(row, widths))
+        for row in rows
+    ]
+    lines.insert(1, "-" * len(lines[0]))
+    return "\n".join(lines)
 
 
 def render_table() -> str:

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.resonance import ResonanceSweep
+from repro.obs.context import RunContext
 
 
 @pytest.fixture
@@ -17,24 +18,24 @@ def a72_clocks():
 
 class TestSweep:
     def test_finds_a72_resonance(self, a72, sweep):
-        result = sweep.run(a72, clocks_hz=a72_clocks())
+        result = sweep.run(RunContext(cluster=a72), clocks_hz=a72_clocks())
         assert result.resonance_hz() == pytest.approx(67e6, abs=5e6)
         assert result.cluster_name == "cortex-a72"
         assert result.powered_cores == 2
 
     def test_clock_restored_after_sweep(self, a72, sweep):
-        sweep.run(a72, clocks_hz=a72_clocks())
+        sweep.run(RunContext(cluster=a72), clocks_hz=a72_clocks())
         assert a72.clock_hz == 1.2e9
 
     def test_series_sorted_by_frequency(self, a72, sweep):
-        result = sweep.run(a72, clocks_hz=a72_clocks())
+        result = sweep.run(RunContext(cluster=a72), clocks_hz=a72_clocks())
         freqs, amps = result.series()
         assert (np.diff(freqs) > 0).all()
         assert freqs.size == amps.size == len(result.points)
 
     def test_amplitude_peaks_inside_sweep(self, a72, sweep):
         """The amplitude maximum is interior, not a band edge."""
-        result = sweep.run(a72, clocks_hz=a72_clocks())
+        result = sweep.run(RunContext(cluster=a72), clocks_hz=a72_clocks())
         freqs, amps = result.series()
         peak_idx = int(np.argmax(amps))
         assert 0 < peak_idx < freqs.size - 1

@@ -14,6 +14,7 @@ from repro import EMCharacterizer, ResonanceSweep, VirusGenerator
 from repro.core.characterizer import FIRST_ORDER_BAND
 from repro.ga.engine import GAConfig
 from repro.instruments.spectrum_analyzer import SpectrumAnalyzer
+from repro.obs.context import RunContext
 from repro.stability.failure import failure_model_for
 from repro.stability.vmin import VminTester
 from repro.workloads.base import ProgramWorkload
@@ -114,7 +115,9 @@ class TestSection5Validation:
         ).resonance_hz()
         sweep = ResonanceSweep(fresh_characterizer(), samples_per_point=3)
         clocks = [1.2e9 - k * 20e6 for k in range(54)]
-        em_res = sweep.run(a72, clocks_hz=clocks).resonance_hz()
+        em_res = sweep.run(
+            RunContext(cluster=a72), clocks_hz=clocks
+        ).resonance_hz()
         assert em_res == pytest.approx(scl_res, abs=6e6)
 
 
@@ -173,7 +176,7 @@ class TestSection7AMD:
         cpu.reset()
         sweep = ResonanceSweep(fresh_characterizer(13), samples_per_point=3)
         clocks = [3.1e9 - k * 100e6 for k in range(24)]
-        result = sweep.run(cpu, clocks_hz=clocks)
+        result = sweep.run(RunContext(cluster=cpu), clocks_hz=clocks)
         assert result.resonance_hz() == pytest.approx(78e6, abs=6e6)
 
     def test_amd_em_ga_converges_near_resonance(self, amd_desktop):

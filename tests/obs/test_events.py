@@ -1,0 +1,147 @@
+"""EventLog and sink behaviour."""
+
+import json
+
+import numpy as np
+
+from repro.obs.events import (
+    EVENT_SCHEMA_VERSION,
+    NULL_LOG,
+    EventLog,
+    JsonlFileSink,
+    MemorySink,
+    StderrSink,
+    jsonable,
+    read_jsonl,
+)
+
+
+class TestJsonable:
+    def test_passthrough_primitives(self):
+        assert jsonable(3) == 3
+        assert jsonable("x") == "x"
+        assert jsonable(None) is None
+
+    def test_numpy_scalars_serializable(self):
+        # np.float64 subclasses float and passes through; non-float
+        # numpy scalars are converted via .item().
+        assert json.dumps(jsonable(np.float64(1.5))) == "1.5"
+        out = jsonable(np.int32(7))
+        assert out == 7
+        assert type(out) is int
+
+    def test_arrays_become_lists(self):
+        assert jsonable(np.arange(3)) == [0, 1, 2]
+
+    def test_nested_containers(self):
+        out = jsonable({"a": (np.float32(1.0), [np.int64(2)])})
+        assert out == {"a": [1.0, [2]]}
+        json.dumps(out)
+
+
+class TestMemorySink:
+    def test_records_in_emission_order(self):
+        sink = MemorySink()
+        log = EventLog([sink])
+        log.emit("first", x=1)
+        log.emit("second", x=2)
+        log.emit("first", x=3)
+        names = [r["event"] for r in sink.records]
+        assert names == ["first", "second", "first"]
+        assert [r["seq"] for r in sink.records] == [0, 1, 2]
+
+    def test_events_filter(self):
+        sink = MemorySink()
+        log = EventLog([sink])
+        log.emit("keep", n=1)
+        log.emit("drop")
+        log.emit("keep", n=2)
+        kept = sink.events("keep")
+        assert [r["n"] for r in kept] == [1, 2]
+
+    def test_record_schema(self):
+        sink = MemorySink()
+        log = EventLog([sink])
+        log.emit("thing", value=np.float64(2.0))
+        (rec,) = sink.records
+        assert rec["v"] == EVENT_SCHEMA_VERSION
+        assert rec["event"] == "thing"
+        assert rec["seq"] == 0
+        assert rec["t"] >= 0.0
+        assert rec["wall"] > 0.0
+        assert rec["value"] == 2.0
+        # every record must be JSON-serializable as emitted
+        json.dumps(rec)
+
+    def test_monotonic_t_and_seq(self):
+        sink = MemorySink()
+        log = EventLog([sink])
+        for i in range(5):
+            log.emit("tick", i=i)
+        ts = [r["t"] for r in sink.records]
+        seqs = [r["seq"] for r in sink.records]
+        assert ts == sorted(ts)
+        assert seqs == list(range(5))
+
+
+class TestEventLog:
+    def test_null_log_disabled(self):
+        assert not NULL_LOG.enabled
+        NULL_LOG.emit("ignored", x=1)  # must be a cheap no-op
+
+    def test_enabled_with_sink(self):
+        assert EventLog([MemorySink()]).enabled
+
+    def test_add_sink(self):
+        log = EventLog()
+        sink = MemorySink()
+        log.add_sink(sink)
+        log.emit("e")
+        assert len(sink.records) == 1
+
+    def test_context_manager_closes(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog([JsonlFileSink(path)]) as log:
+            log.emit("a", n=1)
+        records = read_jsonl(path)
+        assert [r["event"] for r in records] == ["a"]
+
+    def test_fanout_to_multiple_sinks(self):
+        first, second = MemorySink(), MemorySink()
+        log = EventLog([first, second])
+        log.emit("x")
+        assert len(first.records) == len(second.records) == 1
+
+
+class TestJsonlFileSink:
+    def test_appends_and_round_trips(self, tmp_path):
+        path = tmp_path / "sub" / "events.jsonl"
+        log = EventLog([JsonlFileSink(path)])
+        log.emit("one", a=1)
+        log.emit("two", b=[1.0, 2.0])
+        log.close()
+        # a second log appends (resume semantics)
+        log2 = EventLog([JsonlFileSink(path)])
+        log2.emit("three")
+        log2.close()
+        records = read_jsonl(path)
+        assert [r["event"] for r in records] == ["one", "two", "three"]
+        assert records[1]["b"] == [1.0, 2.0]
+
+    def test_every_line_is_json(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        log = EventLog([JsonlFileSink(path)])
+        log.emit("x", arr=np.arange(2))
+        log.close()
+        for line in path.read_text().splitlines():
+            json.loads(line)
+
+
+class TestStderrSink:
+    def test_writes_jsonl_to_stderr(self, capsys):
+        log = EventLog([StderrSink()])
+        log.emit("hello", n=1)
+        err = capsys.readouterr().err
+        rec = json.loads(err.strip())
+        assert rec["event"] == "hello"
+        assert rec["n"] == 1

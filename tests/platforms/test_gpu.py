@@ -68,6 +68,7 @@ class TestGPUCluster:
         """EM sweep on the GPU finds its resonance -- unchanged API."""
         from repro.core.characterizer import EMCharacterizer
         from repro.core.resonance import ResonanceSweep
+        from repro.obs.context import RunContext
         from repro.instruments.spectrum_analyzer import SpectrumAnalyzer
 
         char = EMCharacterizer(
@@ -76,7 +77,7 @@ class TestGPUCluster:
         )
         sweep = ResonanceSweep(char, samples_per_point=3)
         clocks = [1.0e9 - k * 25e6 for k in range(0, 32)]
-        result = sweep.run(gpu, clocks_hz=clocks)
+        result = sweep.run(RunContext(cluster=gpu), clocks_hz=clocks)
         assert result.resonance_hz() == pytest.approx(55e6, abs=6e6)
 
     def test_cu_power_gating_shifts_resonance(self, gpu):

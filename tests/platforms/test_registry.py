@@ -2,8 +2,17 @@
 
 import pytest
 
-from repro.platforms.base import NoiseVisibility
-from repro.platforms.registry import PLATFORM_TABLE, by_cpu, render_table
+from repro.platforms.base import Cluster, NoiseVisibility
+from repro.platforms.registry import (
+    PLATFORM_REGISTRY,
+    PLATFORM_TABLE,
+    by_cpu,
+    make_cluster,
+    platform_keys,
+    render_registry,
+    render_table,
+    resolve,
+)
 
 
 class TestTable1:
@@ -45,3 +54,55 @@ class TestTable1:
         for row in PLATFORM_TABLE:
             assert row.cpu in text
         assert "OS" in text
+
+
+class TestRunnableRegistry:
+    def test_keys_cover_all_cli_platforms(self):
+        assert platform_keys() == ("a72", "a53", "amd", "gpu")
+
+    def test_every_table1_row_is_runnable(self):
+        registered = {
+            e.info.cpu for e in PLATFORM_REGISTRY.values() if e.info
+        }
+        assert registered == {r.cpu for r in PLATFORM_TABLE}
+
+    def test_resolve_carries_table1_row(self):
+        entry = resolve("a53")
+        assert entry.in_table1
+        assert entry.info is by_cpu("Cortex-A53")
+
+    def test_gpu_is_extension_outside_table1(self):
+        assert not resolve("gpu").in_table1
+
+    def test_resolve_unknown_lists_known(self):
+        with pytest.raises(KeyError, match="a72"):
+            resolve("sparc")
+
+    @pytest.mark.parametrize(
+        "key,name",
+        [
+            ("a72", "cortex-a72"),
+            ("a53", "cortex-a53"),
+            ("amd", "amd-athlon-ii-x4-645"),
+            ("gpu", "gpu-8cu"),
+        ],
+    )
+    def test_make_cluster(self, key, name):
+        cluster = make_cluster(key)
+        assert isinstance(cluster, Cluster)
+        assert cluster.name == name
+
+    def test_factory_matches_table1_spec(self):
+        entry = resolve("a72")
+        cluster = entry.make_cluster()
+        assert cluster.spec.num_cores == entry.info.num_cores
+        assert cluster.spec.nominal_clock_hz == pytest.approx(
+            entry.info.nominal_clock_hz
+        )
+        assert cluster.spec.visibility is entry.info.visibility
+
+    def test_render_registry_lists_every_key(self):
+        text = render_registry()
+        for key in platform_keys():
+            assert key in text
+        assert "extension" in text

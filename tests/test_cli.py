@@ -1,8 +1,17 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main, resolve_cluster
+from repro.obs.events import read_jsonl
+from repro.obs.manifest import RunManifest
+
+VIRUS_ARGS = [
+    "virus", "--platform", "a53",
+    "--population", "6", "--generations", "3", "--loop-length", "6",
+]
 
 
 class TestParser:
@@ -91,6 +100,12 @@ class TestCommands:
             ["vmin", "--platform", "a72", "--workloads", "doom"]
         ) == 2
 
+    def test_platforms(self, capsys):
+        assert main(["platforms"]) == 0
+        out = capsys.readouterr().out
+        for key in ("a72", "a53", "amd", "gpu"):
+            assert key in out
+
     def test_report(self, capsys):
         assert main(
             [
@@ -103,3 +118,91 @@ class TestCommands:
         assert "# PDN characterization: cortex-a72" in out
         assert "EM-driven dI/dt virus" in out
         assert "V_MIN ladder" not in out
+
+
+class TestArtifactProvenance:
+    def test_virus_out_writes_manifest_and_event_log(
+        self, capsys, tmp_path
+    ):
+        assert main(VIRUS_ARGS + ["--out", str(tmp_path)]) == 0
+        capsys.readouterr()
+        manifest = RunManifest.load(tmp_path)
+        assert manifest.command == "virus"
+        assert manifest.platform == "a53"
+        assert manifest.config["generations"] == 3
+        assert manifest.event_log == "events.jsonl"
+        for artifact in manifest.artifacts:
+            assert (tmp_path / artifact).exists()
+        events = read_jsonl(tmp_path / manifest.event_log)
+        names = [e["event"] for e in events]
+        assert "ga_run_start" in names
+        assert names.count("generation_end") == 3
+        assert "checkpoint_saved" not in names  # every 5 > 3 gens
+        assert "ga_run_end" in names
+
+    def test_sweep_out_writes_manifest_and_result(
+        self, capsys, tmp_path
+    ):
+        assert main(
+            [
+                "sweep", "--platform", "a72", "--samples", "2",
+                "--out", str(tmp_path),
+            ]
+        ) == 0
+        capsys.readouterr()
+        manifest = RunManifest.load(tmp_path)
+        assert manifest.command == "sweep"
+        assert (tmp_path / "cortex-a72-sweep.json").exists()
+        events = read_jsonl(tmp_path / manifest.event_log)
+        assert any(e["event"] == "sweep_point" for e in events)
+
+    def test_provenance_regenerates_report(self, capsys, tmp_path):
+        assert main(VIRUS_ARGS + ["--out", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["provenance", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "# Run report: virus on a53" in out
+        assert "## GA convergence (from event log)" in out
+        assert "## Archived virus (from summary artifact)" in out
+
+
+class TestResumeFlow:
+    def test_interrupted_run_resumes_identically(
+        self, capsys, tmp_path
+    ):
+        full_dir = tmp_path / "full"
+        part_dir = tmp_path / "part"
+        assert main(VIRUS_ARGS + ["--out", str(full_dir)]) == 0
+        # truncated campaign, checkpointing every generation
+        assert main(
+            [
+                "virus", "--platform", "a53",
+                "--population", "6", "--generations", "2",
+                "--loop-length", "6",
+                "--out", str(part_dir), "--checkpoint-every", "1",
+            ]
+        ) == 0
+        ckpt = part_dir / "checkpoint.json"
+        assert ckpt.exists()
+        assert main(
+            VIRUS_ARGS
+            + [
+                "--out", str(part_dir),
+                "--checkpoint-every", "1",
+                "--resume", str(ckpt),
+            ]
+        ) == 0
+        capsys.readouterr()
+
+        name = "cortex-a53-em-amplitude.summary.json"
+        full = json.loads((full_dir / name).read_text())
+        resumed = json.loads((part_dir / name).read_text())
+        assert resumed == full  # byte-identical continuation
+
+        manifest = RunManifest.load(part_dir)
+        assert manifest.extra["resumed_from"] == str(ckpt)
+        assert manifest.extra["checkpoint"] == "checkpoint.json"
+
+    def test_resume_flag_requires_existing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            main(VIRUS_ARGS + ["--resume", str(tmp_path / "nope.json")])
