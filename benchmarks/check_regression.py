@@ -1,0 +1,103 @@
+"""Benchmark regression gate for CI.
+
+Compares a freshly generated ``bench_throughput.py`` report against the
+committed baseline ``BENCH_eval_engine.json`` and exits non-zero when
+any kernel's throughput regressed by more than ``--tolerance``
+(default 30%).
+
+Absolute wall-clock times are machine-dependent, so the comparison is
+on the *speedup* ratios (optimized vs reference) each report records:
+those are self-normalizing -- both numerator and denominator ran on the
+same machine -- which makes a CI runner comparable to the workstation
+that produced the baseline.
+
+The GA entry compares serial-vs-parallel wall-clock, which only means
+anything with real cores; it is skipped when either report ran with
+``cpu_count`` below the GA benchmark's worker count.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_throughput.py --quick \
+        --out bench-current.json
+    python benchmarks/check_regression.py \
+        --baseline BENCH_eval_engine.json --current bench-current.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+KERNEL_KEYS = ("schedule", "trace", "combined", "transient")
+
+
+def compare(baseline: dict, current: dict, tolerance: float) -> list:
+    """Return a list of (key, baseline_speedup, current_speedup, ok)."""
+    rows = []
+    for key in KERNEL_KEYS:
+        base = baseline[key]["speedup"]
+        cur = current[key]["speedup"]
+        rows.append((key, base, cur, cur >= base * (1.0 - tolerance)))
+
+    workers = max(
+        baseline.get("ga", {}).get("workers", 0),
+        current.get("ga", {}).get("workers", 0),
+    )
+    cores = min(
+        baseline.get("cpu_count") or 0, current.get("cpu_count") or 0
+    )
+    if "ga" in baseline and "ga" in current and cores >= workers:
+        base = baseline["ga"]["speedup"]
+        cur = current["ga"]["speedup"]
+        rows.append(("ga", base, cur, cur >= base * (1.0 - tolerance)))
+    else:
+        print(
+            f"ga: skipped (cpu_count {cores} < workers {workers}; "
+            "parallel speedup is meaningless without real cores)",
+            file=sys.stderr,
+        )
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", default="BENCH_eval_engine.json",
+        help="committed reference report",
+    )
+    parser.add_argument(
+        "--current", required=True,
+        help="report from this run of bench_throughput.py",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.30,
+        help="allowed fractional speedup drop before failing (default 0.30)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(Path(args.baseline).read_text())
+    current = json.loads(Path(args.current).read_text())
+
+    failed = False
+    for key, base, cur, ok in compare(baseline, current, args.tolerance):
+        status = "ok" if ok else "REGRESSED"
+        print(
+            f"{key:>10}: baseline {base:6.2f}x  current {cur:6.2f}x  "
+            f"({cur / base - 1.0:+.1%})  {status}"
+        )
+        failed |= not ok
+    if failed:
+        print(
+            f"throughput regressed by more than "
+            f"{args.tolerance:.0%} vs {args.baseline}",
+            file=sys.stderr,
+        )
+        return 1
+    print("no benchmark regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

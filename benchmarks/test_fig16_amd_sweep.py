@@ -5,6 +5,7 @@ order resonance at 78 MHz.
 """
 
 from repro.core.resonance import ResonanceSweep
+from repro.obs import RunContext
 
 from benchmarks.conftest import paper_characterizer, print_header
 
@@ -17,7 +18,7 @@ def test_fig16_amd_loop_sweep(benchmark, amd_desktop):
     sweep = ResonanceSweep(paper_characterizer(61), samples_per_point=5)
 
     def regenerate():
-        return sweep.run(cpu, clocks_hz=CLOCKS)
+        return sweep.run(RunContext(cluster=cpu), clocks_hz=CLOCKS)
 
     result = benchmark.pedantic(regenerate, rounds=1, iterations=1)
     print_header("Fig. 16: EM loop-frequency sweep on the AMD CPU")

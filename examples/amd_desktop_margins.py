@@ -19,6 +19,7 @@ from repro import EMCharacterizer, ResonanceSweep, VirusGenerator
 from repro import make_amd_desktop
 from repro.ga import GAConfig
 from repro.instruments.spectrum_analyzer import SpectrumAnalyzer
+from repro.obs import RunContext
 from repro.stability import VminTester, failure_model_for
 from repro.workloads import (
     amd_stability_test,
@@ -43,7 +44,7 @@ def main() -> None:
     print("== Fast EM sweep on the Athlon II X4 645 (Fig. 16) ==")
     sweep = ResonanceSweep(characterizer, samples_per_point=5)
     clocks = [3.1e9 - k * 100e6 for k in range(0, 24)]
-    result = sweep.run(cpu, clocks_hz=clocks)
+    result = sweep.run(RunContext(cluster=cpu), clocks_hz=clocks)
     print(
         f"  resonance: {result.resonance_hz() / 1e6:.1f} MHz "
         f"(paper: 78 MHz)"

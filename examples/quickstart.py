@@ -19,6 +19,7 @@ import numpy as np
 from repro import EMCharacterizer, ResonanceSweep, VirusGenerator
 from repro import make_juno_board
 from repro.ga import GAConfig
+from repro.obs import RunContext
 from repro.instruments.spectrum_analyzer import (
     SpectrumAnalyzer,
     watts_to_dbm,
@@ -39,7 +40,7 @@ def main() -> None:
     print("== Fast EM resonance sweep (Section 5.3) ==")
     sweep = ResonanceSweep(characterizer, samples_per_point=5)
     clocks = [1.2e9 - k * 20e6 for k in range(0, 54)]
-    result = sweep.run(a72, clocks_hz=clocks)
+    result = sweep.run(RunContext(cluster=a72), clocks_hz=clocks)
     print(
         f"  Cortex-A72, both cores powered: resonance at "
         f"{result.resonance_hz() / 1e6:.1f} MHz "

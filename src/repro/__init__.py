@@ -25,6 +25,14 @@ Quickstart::
     print(summary.dominant_frequency_hz / 1e6, "MHz")
 """
 
+from repro.chain import (
+    ChainItem,
+    ChainRequest,
+    ChainResult,
+    OperatingPoint,
+    SignalPath,
+    SimulationSession,
+)
 from repro.core import (
     EMCharacterizer,
     EMMeasurement,
@@ -44,6 +52,12 @@ from repro.ga import GAConfig
 __version__ = "1.0.0"
 
 __all__ = [
+    "ChainItem",
+    "ChainRequest",
+    "ChainResult",
+    "OperatingPoint",
+    "SignalPath",
+    "SimulationSession",
     "EMCharacterizer",
     "EMMeasurement",
     "GARunSummary",

@@ -1,0 +1,61 @@
+"""Batch-first measurement chain (CPU -> PDN -> EM -> analyzer).
+
+The paper's methodology is one fixed signal path -- instruction loop ->
+load current -> PDN response -> radiated EM -> analyzer amplitude.
+This package reifies it once as a composable, batch-first pipeline:
+
+- :class:`Stage` implementations for each physical step, composed into
+  a :class:`SignalPath`;
+- batch types (:class:`ChainRequest` carrying N programs x M cluster
+  operating points, :class:`ChainResult` with per-item responses /
+  emissions / amplitudes) so a whole resonance sweep or GA generation
+  is one chain call;
+- a :class:`SimulationSession` owning cross-call caches keyed by the
+  cluster state version (clock, voltage, powered cores).
+
+The high-level entry points (``EMCharacterizer.measure``,
+``ResonanceSweep.run``, the GA fitness evaluators, ``VirusGenerator``)
+are thin shims over this layer, pinned bit-identical to the historical
+per-call implementations by ``tests/chain/test_equivalence.py``.
+"""
+
+from repro.chain.path import SignalPath
+from repro.chain.session import SessionStats, SimulationSession
+from repro.chain.stages import (
+    ChainBatch,
+    CurrentStage,
+    ExecuteStage,
+    PDNStage,
+    PropagateStage,
+    RadiateStage,
+    ReceiveStage,
+    Stage,
+    resolve_request,
+)
+from repro.chain.types import (
+    ChainItem,
+    ChainItemResult,
+    ChainRequest,
+    ChainResult,
+    OperatingPoint,
+)
+
+__all__ = [
+    "ChainBatch",
+    "ChainItem",
+    "ChainItemResult",
+    "ChainRequest",
+    "ChainResult",
+    "CurrentStage",
+    "ExecuteStage",
+    "OperatingPoint",
+    "PDNStage",
+    "PropagateStage",
+    "RadiateStage",
+    "ReceiveStage",
+    "SessionStats",
+    "SignalPath",
+    "SimulationSession",
+    "Stage",
+    "resolve_request",
+]

@@ -1,0 +1,96 @@
+"""The composed signal path: one batched call through every stage.
+
+``SignalPath.em_chain(radiator, analyzer)`` builds the paper's full
+measurement chain; ``run(request)`` pushes N items through it and
+returns a :class:`ChainResult` with per-item artifacts, per-stage wall
+times and the session cache-counter deltas.  Stage bodies are wrapped
+in ``kernel_section("chain.<stage>")`` so an enclosing
+:func:`repro.obs.timing.collect_kernel_timings` block -- e.g. the GA
+engine's per-generation collector -- sees the chain-stage breakdown
+without any extra plumbing.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional
+
+from repro.chain.session import SimulationSession
+from repro.chain.stages import (
+    CurrentStage,
+    ExecuteStage,
+    PDNStage,
+    PropagateStage,
+    RadiateStage,
+    ReceiveStage,
+    Stage,
+    resolve_request,
+)
+from repro.chain.types import ChainRequest, ChainResult
+from repro.obs.events import NULL_LOG, EventLog
+from repro.obs.timing import kernel_section
+
+
+class SignalPath:
+    """An ordered stage composition sharing one simulation session."""
+
+    def __init__(
+        self,
+        stages: List[Stage],
+        session: Optional[SimulationSession] = None,
+    ):
+        self.stages = list(stages)
+        self.session = session if session is not None else (
+            SimulationSession()
+        )
+
+    @classmethod
+    def em_chain(
+        cls,
+        radiator,
+        analyzer,
+        session: Optional[SimulationSession] = None,
+    ) -> "SignalPath":
+        """The paper's chain: CPU -> PDN -> EM radiation -> analyzer."""
+        return cls(
+            [
+                ExecuteStage(),
+                CurrentStage(),
+                PDNStage(),
+                RadiateStage(radiator),
+                PropagateStage(analyzer),
+                ReceiveStage(analyzer),
+            ],
+            session=session,
+        )
+
+    def run(
+        self, request: ChainRequest, event_log: EventLog = NULL_LOG
+    ) -> ChainResult:
+        """Push one batch through every stage, in request order."""
+        batch = resolve_request(request, self.session)
+        before = self.session.stats.snapshot()
+        stage_times = {}
+        for stage in self.stages:
+            start = time.monotonic()
+            with kernel_section(f"chain.{stage.name}"):
+                stage.run(batch)
+            stage_times[stage.name] = round(
+                time.monotonic() - start, 6
+            )
+        after = self.session.stats.snapshot()
+        cache_stats = {k: after[k] - before[k] for k in after}
+        result = ChainResult(
+            items=[w.result for w in batch.work],
+            stage_times_s=stage_times,
+            cache_stats=cache_stats,
+        )
+        event_log.emit(
+            "chain_run",
+            items=len(result.items),
+            want_amplitude=request.want_amplitude,
+            want_trace=request.want_trace,
+            stage_times_s=stage_times,
+            cache_stats=cache_stats,
+        )
+        return result

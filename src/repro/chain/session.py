@@ -1,0 +1,264 @@
+"""Session-scoped caches for the measurement chain.
+
+A :class:`SimulationSession` owns everything that is expensive to
+derive but stable across chain calls: AC transfer-function grids
+(previously locked inside each ``SteadyStateSolver``), pipeline
+executions (schedule + current trace, which do not depend on the
+operating point), radiator tilt curves, propagation/antenna gains and
+analyzer band masks.
+
+Cache entries are keyed by the *cluster operating state*
+(``Cluster.state()``: clock, voltage, powered cores) where relevant, so
+a sweep over K clock points performs at most one AC analysis per
+distinct state and a re-measurement at a revisited state is a pure
+cache hit.  ``Cluster.state_version`` -- a counter bumped by
+``set_clock`` / ``set_voltage`` / ``power_gate`` -- lets the session
+detect state changes with a single integer comparison instead of
+re-reading every field; a version bump invalidates the memoized state
+snapshot (counted in ``stats.invalidations``) but never the
+state-keyed entries themselves, which remain valid for their own key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cpu.program import LoopProgram
+    from repro.cpu.multicore import ClusterExecution
+    from repro.em.radiation import DieRadiator
+    from repro.instruments.spectrum_analyzer import SpectrumAnalyzer
+    from repro.pdn.steady_state import PeriodicResponse
+    from repro.platforms.base import Cluster, ClusterState
+
+
+@dataclass
+class SessionStats:
+    """Hit/miss counters for every session cache (observability only)."""
+
+    tf_hits: int = 0
+    tf_misses: int = 0
+    execute_hits: int = 0
+    execute_misses: int = 0
+    tilt_hits: int = 0
+    tilt_misses: int = 0
+    gain_hits: int = 0
+    gain_misses: int = 0
+    mask_hits: int = 0
+    mask_misses: int = 0
+    invalidations: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        return {
+            "tf_hits": self.tf_hits,
+            "tf_misses": self.tf_misses,
+            "execute_hits": self.execute_hits,
+            "execute_misses": self.execute_misses,
+            "tilt_hits": self.tilt_hits,
+            "tilt_misses": self.tilt_misses,
+            "gain_hits": self.gain_hits,
+            "gain_misses": self.gain_misses,
+            "mask_hits": self.mask_hits,
+            "mask_misses": self.mask_misses,
+            "invalidations": self.invalidations,
+        }
+
+
+class SimulationSession:
+    """Cross-call caches for one simulation campaign.
+
+    One session per experiment (an ``EMCharacterizer``, a GA fitness, a
+    sweep) is the intended granularity; sharing a session across
+    experiments against the same cluster compounds the reuse.  All
+    cached values are deterministic pure functions of their keys, so
+    caching never changes results -- the bit-equivalence tests in
+    ``tests/chain/test_equivalence.py`` pin this.
+    """
+
+    def __init__(self, max_executions: int = 4096):
+        self.stats = SessionStats()
+        self._max_executions = max_executions
+        # id(cluster) -> (state_version, ClusterState)
+        self._cluster_states: Dict[int, Tuple[int, "ClusterState"]] = {}
+        # (cluster_id, genome, active, iterations) -> ClusterExecution
+        self._executions: Dict[Tuple, "ClusterExecution"] = {}
+        # (cluster_id, powered_cores, n_samples, sample_rate) -> (Z, H_I)
+        self._tf_grids: Dict[Tuple, Tuple[np.ndarray, np.ndarray]] = {}
+        # (radiator, grid_key) -> tilt array over the emission lines
+        self._tilts: Dict[Tuple, np.ndarray] = {}
+        # (analyzer_id, settings, grid_key) -> line gain array
+        self._gains: Dict[Tuple, np.ndarray] = {}
+        # (analyzer_id, settings, band) -> boolean bin mask
+        self._band_masks: Dict[Tuple, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # cluster state tracking
+    # ------------------------------------------------------------------
+    def cluster_state(self, cluster: "Cluster") -> "ClusterState":
+        """The cluster's operating point, memoized by state version."""
+        key = id(cluster)
+        entry = self._cluster_states.get(key)
+        version = cluster.state_version
+        if entry is not None:
+            if entry[0] == version:
+                return entry[1]
+            self.stats.invalidations += 1
+        state = cluster.state()
+        self._cluster_states[key] = (version, state)
+        return state
+
+    # ------------------------------------------------------------------
+    # execute stage: schedule + per-cycle current, clock-independent
+    # ------------------------------------------------------------------
+    def execution(
+        self,
+        cluster: "Cluster",
+        program: "LoopProgram",
+        active_cores: int,
+        clock_hz: float,
+        iterations: int = 16,
+        phase_offsets: Optional[Sequence[int]] = None,
+    ) -> "ClusterExecution":
+        """Steady-state execution of ``program`` on ``active_cores``.
+
+        The schedule and the per-cycle current trace are independent of
+        the operating point (amperes per cycle are fixed; the clock
+        only sets the sample rate), so one cached execution serves
+        every clock point of a sweep -- the cache key deliberately
+        omits the clock and the entry is re-stamped with the item's
+        ``clock_hz`` on the way out.
+        """
+        from repro.cpu.multicore import CoreModel, execute_on_cluster
+
+        core = CoreModel(
+            pipeline=cluster.pipeline,
+            current_model=cluster.spec.current_model,
+            clock_hz=clock_hz,
+        )
+        if phase_offsets is not None:
+            # Phase studies are rare and offset-specific; don't cache.
+            return execute_on_cluster(
+                core,
+                program,
+                active_cores=active_cores,
+                phase_offsets=phase_offsets,
+                uncore_current_a=cluster.spec.uncore_current_a,
+                iterations=iterations,
+            )
+        key = (id(cluster), program.genome(), active_cores, iterations)
+        cached = self._executions.get(key)
+        if cached is None:
+            self.stats.execute_misses += 1
+            cached = execute_on_cluster(
+                core,
+                program,
+                active_cores=active_cores,
+                uncore_current_a=cluster.spec.uncore_current_a,
+                iterations=iterations,
+            )
+            if len(self._executions) >= self._max_executions:
+                self._executions.pop(next(iter(self._executions)))
+            self._executions[key] = cached
+        else:
+            self.stats.execute_hits += 1
+        if cached.clock_hz != clock_hz:
+            cached = replace(cached, clock_hz=clock_hz)
+        return cached
+
+    # ------------------------------------------------------------------
+    # pdn stage: transfer-function grids hoisted out of the solver
+    # ------------------------------------------------------------------
+    def pdn_solve(
+        self,
+        cluster: "Cluster",
+        powered_cores: int,
+        voltage: float,
+        load_current: np.ndarray,
+        sample_rate_hz: float,
+    ) -> "PeriodicResponse":
+        """Steady-state rail response at an explicit operating point.
+
+        The AC transfer-function grid is cached here, keyed by
+        ``(cluster, powered_cores, n_samples, sample_rate)`` -- i.e. by
+        the distinct cluster states a campaign visits -- so repeated
+        solves at a revisited state never re-run the AC analysis.
+        """
+        from repro.platforms.base import _recentered
+
+        solver = cluster.pdn.solver(powered_cores)
+        key = (
+            id(cluster),
+            powered_cores,
+            load_current.size,
+            sample_rate_hz,
+        )
+        transfer = self._tf_grids.get(key)
+        if transfer is None:
+            self.stats.tf_misses += 1
+            transfer = solver.transfer_functions(
+                load_current.size, sample_rate_hz
+            )
+            self._tf_grids[key] = transfer
+        else:
+            self.stats.tf_hits += 1
+        response = solver.solve(
+            load_current, sample_rate_hz, transfer=transfer
+        )
+        return _recentered(response, voltage)
+
+    # ------------------------------------------------------------------
+    # radiate / propagate / receive scalings
+    # ------------------------------------------------------------------
+    def radiator_tilt(
+        self,
+        radiator: "DieRadiator",
+        frequencies_hz: np.ndarray,
+        grid_key: Tuple,
+    ) -> np.ndarray:
+        """The radiator's frequency tilt over one harmonic grid."""
+        key = (radiator, grid_key)
+        tilt = self._tilts.get(key)
+        if tilt is None:
+            self.stats.tilt_misses += 1
+            tilt = radiator.tilt(frequencies_hz)
+            self._tilts[key] = tilt
+        else:
+            self.stats.tilt_hits += 1
+        return tilt
+
+    def line_gains(
+        self,
+        analyzer: "SpectrumAnalyzer",
+        frequencies_hz: np.ndarray,
+        grid_key: Tuple,
+    ) -> np.ndarray:
+        """Coupling x antenna gain over one grid's in-span lines."""
+        key = (id(analyzer), analyzer._settings_key(), grid_key)
+        gains = self._gains.get(key)
+        if gains is None:
+            self.stats.gain_misses += 1
+            gains = analyzer.line_gains(frequencies_hz)
+            self._gains[key] = gains
+        else:
+            self.stats.gain_hits += 1
+        return gains
+
+    def band_mask(
+        self,
+        analyzer: "SpectrumAnalyzer",
+        band: Tuple[float, float],
+    ) -> np.ndarray:
+        """Boolean mask of the analyzer bins inside ``band``."""
+        key = (id(analyzer), analyzer._settings_key(), tuple(band))
+        mask = self._band_masks.get(key)
+        if mask is None:
+            self.stats.mask_misses += 1
+            centers = analyzer.bin_centers()
+            mask = (centers >= band[0]) & (centers <= band[1])
+            self._band_masks[key] = mask
+        else:
+            self.stats.mask_hits += 1
+        return mask

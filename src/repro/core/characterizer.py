@@ -14,11 +14,18 @@ from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.chain import (
+    ChainItem,
+    ChainRequest,
+    SignalPath,
+    SimulationSession,
+)
 from repro.cpu.program import LoopProgram
 from repro.core.results import MeasurementResult, MultiDomainSpectrum
 from repro.em.radiation import DieRadiator, EmissionSpectrum, combine_emissions
 from repro.instruments.spectrum_analyzer import SpectrumAnalyzer, SpectrumTrace
 from repro.obs.context import RunContext
+from repro.obs.events import NULL_LOG, EventLog
 from repro.platforms.base import Cluster, ClusterRun
 
 FIRST_ORDER_BAND = (50.0e6, 200.0e6)
@@ -47,11 +54,28 @@ class EMCharacterizer:
         radiator: Optional[DieRadiator] = None,
         band: Tuple[float, float] = FIRST_ORDER_BAND,
         samples: int = 30,
+        session: Optional[SimulationSession] = None,
     ):
         self.analyzer = analyzer or SpectrumAnalyzer()
         self.radiator = radiator or DieRadiator()
         self.band = band
         self.samples = samples
+        #: Cross-call cache shared by every measurement this
+        #: characterizer performs (and by collaborators that pass it on).
+        self.session = session if session is not None else (
+            SimulationSession()
+        )
+
+    def chain_path(self) -> SignalPath:
+        """The measurement chain for the present receive hardware.
+
+        Built per call (stages are tiny stateless objects) so swapping
+        ``analyzer`` / ``radiator`` after construction keeps working;
+        the expensive state lives in the persistent :attr:`session`.
+        """
+        return SignalPath.em_chain(
+            self.radiator, self.analyzer, session=self.session
+        )
 
     # ------------------------------------------------------------------
     def emission_of(self, run: ClusterRun) -> EmissionSpectrum:
@@ -65,20 +89,55 @@ class EMCharacterizer:
         active_cores: Optional[int] = None,
         samples: Optional[int] = None,
     ) -> EMMeasurement:
-        """Run ``program`` and measure the banded EM amplitude."""
-        run = cluster.run(program, active_cores=active_cores)
-        emission = self.emission_of(run)
-        amplitude = self.analyzer.max_amplitude(
-            emission, band=self.band, samples=samples or self.samples
+        """Run ``program`` and measure the banded EM amplitude.
+
+        Thin shim over a one-item :meth:`measure_batch`; pinned
+        bit-identical to the historical per-call implementation by
+        ``tests/chain/test_equivalence.py``.
+        """
+        return self.measure_batch(
+            cluster, [program], active_cores=active_cores, samples=samples
+        )[0]
+
+    def measure_batch(
+        self,
+        cluster: Cluster,
+        programs: Sequence[LoopProgram],
+        active_cores: Optional[int] = None,
+        samples: Optional[int] = None,
+        items: Optional[Sequence[ChainItem]] = None,
+        event_log: EventLog = NULL_LOG,
+    ) -> Sequence[EMMeasurement]:
+        """Measure N programs (or explicit chain ``items``) in one call.
+
+        The whole batch moves through the signal path stage by stage,
+        sharing the session caches; results come back in request order
+        with the analyzer RNG advanced exactly as N sequential
+        :meth:`measure` calls would have advanced it.
+        """
+        if items is None:
+            items = [
+                ChainItem(program=p, active_cores=active_cores)
+                for p in programs
+            ]
+        request = ChainRequest(
+            cluster=cluster,
+            items=items,
+            band=self.band,
+            samples=samples if samples is not None else self.samples,
+            want_amplitude=True,
+            want_trace=True,
         )
-        trace = self.analyzer.sweep(emission)
-        peak_freq, _ = trace.peak(self.band)
-        return EMMeasurement(
-            amplitude_w=amplitude,
-            peak_frequency_hz=peak_freq,
-            trace=trace,
-            run=run,
-        )
+        result = self.chain_path().run(request, event_log=event_log)
+        return [
+            EMMeasurement(
+                amplitude_w=item.amplitude_w,
+                peak_frequency_hz=item.peak_frequency_hz,
+                trace=item.trace,
+                run=item.to_cluster_run(cluster),
+            )
+            for item in result.items
+        ]
 
     # ------------------------------------------------------------------
     def run(

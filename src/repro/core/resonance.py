@@ -11,16 +11,15 @@ Figs. 11, 13 and 16.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.chain import ChainItem, ChainRequest, OperatingPoint
 from repro.core.characterizer import EMCharacterizer
 from repro.core.results import JsonResultMixin
 from repro.obs.context import RunContext
-from repro.obs.events import NULL_LOG
 from repro.platforms.base import Cluster
 from repro.workloads.loops import high_low_program
 
@@ -100,35 +99,36 @@ class ResonanceSweep:
 
     def run(
         self,
-        target: Union[RunContext, Cluster],
+        target: RunContext,
         clocks_hz: Optional[Sequence[float]] = None,
         active_cores: Optional[int] = None,
     ) -> SweepResult:
         """Sweep the cluster clock and record the EM spike amplitude.
 
-        ``target`` is a :class:`repro.obs.context.RunContext`; the
+        ``target`` must be a :class:`repro.obs.context.RunContext`; the
         sweep runs against ``target.cluster`` and reports each point to
-        ``target.event_log``.  Passing a bare :class:`Cluster` is the
-        deprecated pre-context signature and still works.
+        ``target.event_log``.  (The pre-context bare-``Cluster``
+        signature was removed; wrap the cluster:
+        ``sweep.run(RunContext(cluster=cluster))``.)
 
         ``clocks_hz`` defaults to every multiplier-reachable point from
         nominal down (the paper steps the A72 from 1.2 GHz to 120 MHz
-        in 20 MHz steps).  The cluster's clock is restored afterwards.
+        in 20 MHz steps).  The whole sweep is one batched chain call --
+        the cluster's clock is never mutated, each point carries its
+        clock as a per-item operating point -- so K points share one
+        schedule and at most one AC transfer-function analysis per
+        distinct cluster state.
         """
-        if isinstance(target, RunContext):
-            cluster = target.cluster
-            event_log = target.event_log
-            if active_cores is None:
-                active_cores = target.active_cores
-        else:
-            warnings.warn(
-                "ResonanceSweep.run(cluster) is deprecated; pass a "
-                "repro.obs.RunContext",
-                DeprecationWarning,
-                stacklevel=2,
+        if not isinstance(target, RunContext):
+            raise TypeError(
+                "ResonanceSweep.run requires a repro.obs.RunContext; "
+                "the bare-Cluster signature was removed -- wrap it: "
+                "run(RunContext(cluster=...))"
             )
-            cluster = target
-            event_log = NULL_LOG
+        cluster = target.cluster
+        event_log = target.event_log
+        if active_cores is None:
+            active_cores = target.active_cores
         program = high_low_program(cluster.spec.isa)
         clocks = (
             list(clocks_hz)
@@ -142,32 +142,40 @@ class ResonanceSweep:
             powered_cores=cluster.powered_cores,
             samples_per_point=self.samples_per_point,
         )
-        saved_clock = cluster.clock_hz
-        points: List[SweepPoint] = []
-        try:
-            for clock in clocks:
-                cluster.set_clock(clock)
-                measurement = self.characterizer.measure(
-                    cluster,
-                    program,
+        characterizer = self.characterizer
+        request = ChainRequest(
+            cluster=cluster,
+            items=[
+                ChainItem(
+                    program=program,
+                    operating_point=OperatingPoint(clock_hz=clock),
                     active_cores=active_cores,
-                    samples=self.samples_per_point,
                 )
-                points.append(
-                    SweepPoint(
-                        clock_hz=clock,
-                        loop_frequency_hz=measurement.loop_frequency_hz,
-                        amplitude_w=measurement.amplitude_w,
-                    )
-                )
-                event_log.emit(
-                    "sweep_point",
+                for clock in clocks
+            ],
+            band=characterizer.band,
+            samples=self.samples_per_point,
+            want_amplitude=True,
+            want_trace=True,
+        )
+        chain_result = characterizer.chain_path().run(
+            request, event_log=event_log
+        )
+        points: List[SweepPoint] = []
+        for clock, item in zip(clocks, chain_result.items):
+            points.append(
+                SweepPoint(
                     clock_hz=clock,
-                    loop_frequency_hz=measurement.loop_frequency_hz,
-                    amplitude_w=measurement.amplitude_w,
+                    loop_frequency_hz=item.loop_frequency_hz,
+                    amplitude_w=item.amplitude_w,
                 )
-        finally:
-            cluster.set_clock(saved_clock)
+            )
+            event_log.emit(
+                "sweep_point",
+                clock_hz=clock,
+                loop_frequency_hz=item.loop_frequency_hz,
+                amplitude_w=item.amplitude_w,
+            )
         result = SweepResult(
             cluster_name=cluster.name,
             powered_cores=cluster.powered_cores,
@@ -177,6 +185,8 @@ class ResonanceSweep:
             "sweep_end",
             cluster=cluster.name,
             resonance_hz=result.resonance_hz() if points else None,
+            stage_times_s=chain_result.stage_times_s,
+            cache_stats=chain_result.cache_stats,
         )
         return result
 

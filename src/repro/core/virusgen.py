@@ -119,9 +119,26 @@ class VirusGenerator:
         best = result.best
         # Re-measure the winning individual (the paper re-runs the best
         # individuals after the search to collect voltage metrics).
-        run = self.cluster.run(
-            best.best_program, active_cores=self.active_cores
+        # Response-only chain request: no analyzer readout, so the
+        # analyzer RNG is untouched -- as the legacy cluster.run was.
+        from repro.chain import ChainItem, ChainRequest
+
+        request = ChainRequest(
+            cluster=self.cluster,
+            items=[
+                ChainItem(
+                    program=best.best_program,
+                    active_cores=self.active_cores,
+                )
+            ],
+            band=self.characterizer.band,
+            want_amplitude=False,
+            want_trace=False,
         )
+        item = self.characterizer.chain_path().run(
+            request, event_log=self.event_log
+        ).items[0]
+        run = item.to_cluster_run(self.cluster)
         try:
             dominant = run.response.dominant_frequency_hz(
                 self.characterizer.band
@@ -206,6 +223,11 @@ class VirusGenerator:
             band=band,
             samples=samples or self.characterizer.samples,
             active_cores=self.active_cores,
+            # Serial evaluation shares the characterizer's session, so
+            # GA generations and the champion re-measurement reuse the
+            # same execution and transfer-function caches.  Worker
+            # dispatch drops it in pickling; each worker warms its own.
+            session=self.characterizer.session,
         )
         return self._run_ga(
             ClusterFitness(fitness_fn, self.cluster),

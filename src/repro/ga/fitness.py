@@ -14,7 +14,7 @@ the per-generation records of Figs. 7/12/17 plot.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.cpu.program import LoopProgram
 from repro.em.radiation import DieRadiator
@@ -70,6 +70,20 @@ class ClusterFitness:
     def __call__(self, program: LoopProgram) -> "FitnessEvaluation":
         return self.fitness(self.cluster, program)
 
+    def evaluate_batch(
+        self, programs: Sequence[LoopProgram]
+    ) -> List["FitnessEvaluation"]:
+        """Evaluate a batch, in order.
+
+        Delegates to the wrapped fitness's batched path (one chain call
+        for the whole shard) when it has one; falls back to a plain
+        loop otherwise.
+        """
+        batch = getattr(self.fitness, "evaluate_batch", None)
+        if batch is not None:
+            return list(batch(self.cluster, programs))
+        return [self.fitness(self.cluster, p) for p in programs]
+
     # Checkpoint protocol: delegate measurement-chain RNG state to the
     # wrapped fitness so GA checkpoints capture it (see GACheckpoint).
     def fitness_state(self) -> Optional[dict]:
@@ -101,12 +115,33 @@ class EMAmplitudeFitness:
     # individual produces a different noisy score.
     cache_model: object = None
     memory_rng: object = None
+    # Optional shared repro.chain.SimulationSession; None builds a
+    # private one lazily.  Sessions are process-local: pickling for
+    # worker dispatch drops it so each worker warms its own.
+    session: object = None
 
     def __post_init__(self) -> None:
         if self.radiator is None:
             self.radiator = DieRadiator()
         if self.cache_model is not None and self.memory_rng is None:
             raise ValueError("cache_model requires a memory_rng")
+
+    def _chain_path(self):
+        path = getattr(self, "_path", None)
+        if path is None:
+            from repro.chain import SignalPath
+
+            path = SignalPath.em_chain(
+                self.radiator, self.analyzer, session=self.session
+            )
+            self._path = path
+        return path
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state.pop("_path", None)
+        state["session"] = None
+        return state
 
     # Checkpoint protocol: the spectrum analyzer's noise RNG advances
     # with every fresh measurement, so bit-identical resume requires
@@ -128,30 +163,54 @@ class EMAmplitudeFitness:
     def __call__(
         self, cluster: Cluster, program: LoopProgram
     ) -> FitnessEvaluation:
-        if self.cache_model is not None:
-            run = cluster.run_nondeterministic(
-                program,
-                cache_model=self.cache_model,
-                memory_rng=self.memory_rng,
-                active_cores=self.active_cores,
-            )
-        else:
-            run = cluster.run(program, active_cores=self.active_cores)
-        emission = self.radiator.emission(run.response)
-        score = self.analyzer.max_amplitude(
-            emission, band=self.band, samples=self.samples
+        return self.evaluate_batch(cluster, [program])[0]
+
+    def evaluate_batch(
+        self, cluster: Cluster, programs: Sequence[LoopProgram]
+    ) -> List[FitnessEvaluation]:
+        """Score a batch of programs with one chain call.
+
+        Results (and RNG stream consumption, per generator) are
+        bit-identical to evaluating the programs one at a time: the
+        execute stage draws only from ``memory_rng`` and the receive
+        stage only from the analyzer RNG, each in batch order.
+        """
+        from repro.chain import ChainItem, ChainRequest
+
+        request = ChainRequest(
+            cluster=cluster,
+            items=[
+                ChainItem(
+                    program=p,
+                    active_cores=self.active_cores,
+                    cache_model=self.cache_model,
+                    memory_rng=self.memory_rng,
+                )
+                for p in programs
+            ],
+            band=self.band,
+            samples=self.samples,
+            want_amplitude=True,
+            want_trace=False,
         )
-        dominant, droop, p2p, ipc = _common_metrics(run, self.band)
-        # The paper reports the GA's dominant frequency from the SA peak.
-        banded = emission.band(*self.band)
-        peak_freq, _ = banded.peak()
+        result = self._chain_path().run(request)
+        return [self._from_chain_item(item) for item in result.items]
+
+    def _from_chain_item(self, item) -> FitnessEvaluation:
+        try:
+            dominant = item.response.dominant_frequency_hz(self.band)
+        except ValueError:
+            dominant = 0.0
+        # The paper reports the GA's dominant frequency from the SA peak
+        # (the chain's banded emission peak when no trace was swept).
+        peak_freq = item.peak_frequency_hz or 0.0
         return FitnessEvaluation(
-            score=score,
+            score=item.amplitude_w,
             dominant_frequency_hz=peak_freq or dominant,
-            max_droop_v=droop,
-            peak_to_peak_v=p2p,
-            ipc=ipc,
-            loop_frequency_hz=run.loop_frequency_hz,
+            max_droop_v=item.max_droop,
+            peak_to_peak_v=item.peak_to_peak,
+            ipc=item.ipc,
+            loop_frequency_hz=item.loop_frequency_hz,
         )
 
 

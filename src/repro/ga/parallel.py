@@ -4,17 +4,21 @@ A generation's unseen genomes are independent measurements, so they can
 be fanned out across worker processes.  The dispatch model is:
 
 1. the engine dedupes the generation by genome against its memo cache,
-2. unseen programs are submitted to a :class:`ProcessPoolExecutor`
-   (created once per run and reused across generations), and
-3. results are merged back into the cache in submission order.
+2. unseen programs are split into one contiguous shard per worker and
+   submitted to a :class:`ProcessPoolExecutor` (created once per run
+   and reused across generations) -- one task per shard, so each
+   worker pushes its whole shard through the measurement chain as a
+   single batched call, and
+3. per-shard results are flattened back in submission order.
 
-Ordering is deterministic: ``executor.map`` returns results in the
-order programs were submitted, so a *pure* fitness function produces
-bit-identical ``GAResult`` histories at any worker count (the
-``workers=4 == workers=1`` determinism test).  A fitness that mutates
-hidden state per call (e.g. a spectrum analyzer advancing its RNG)
-keeps that state per-process under parallel dispatch, so its scores
-are only reproducible serially -- leave ``workers=1`` for those.
+Ordering is deterministic: ``executor.map`` returns shard results in
+the order shards were submitted and each shard preserves item order,
+so a *pure* fitness function produces bit-identical ``GAResult``
+histories at any worker count (the ``workers=4 == workers=1``
+determinism test).  A fitness that mutates hidden state per call
+(e.g. a spectrum analyzer advancing its RNG) keeps that state
+per-process under parallel dispatch, so its scores are only
+reproducible serially -- leave ``workers=1`` for those.
 
 Fitness callables must be picklable to cross the process boundary
 (plain functions, dataclass instances such as
@@ -32,7 +36,7 @@ from repro.cpu.program import LoopProgram
 from repro.ga.fitness import FitnessEvaluation
 
 # Per-worker fitness instance, installed once by the pool initializer so
-# each task ships only its (small) LoopProgram, not the whole
+# each task ships only its (small) LoopProgram shard, not the whole
 # measurement chain.
 _WORKER_FITNESS: Optional[Callable] = None
 
@@ -42,8 +46,43 @@ def _init_worker(payload: bytes) -> None:
     _WORKER_FITNESS = pickle.loads(payload)
 
 
+def _evaluate_with(
+    fitness: Callable, programs: Sequence[LoopProgram]
+) -> List[FitnessEvaluation]:
+    """Evaluate in order, batched when the fitness supports it."""
+    batch = getattr(fitness, "evaluate_batch", None)
+    if batch is not None:
+        return list(batch(programs))
+    return [fitness(p) for p in programs]
+
+
 def _evaluate_in_worker(program: LoopProgram) -> FitnessEvaluation:
     return _WORKER_FITNESS(program)
+
+
+def _evaluate_shard_in_worker(
+    programs: Sequence[LoopProgram],
+) -> List[FitnessEvaluation]:
+    return _evaluate_with(_WORKER_FITNESS, programs)
+
+
+def shard(
+    programs: Sequence[LoopProgram], workers: int
+) -> List[List[LoopProgram]]:
+    """Split ``programs`` into at most ``workers`` contiguous shards.
+
+    Shard sizes differ by at most one, with the larger shards first;
+    concatenating the shards reproduces the input order exactly.
+    """
+    count = min(workers, len(programs))
+    base, extra = divmod(len(programs), count)
+    shards = []
+    start = 0
+    for i in range(count):
+        size = base + (1 if i < extra else 0)
+        shards.append(list(programs[start:start + size]))
+        start += size
+    return shards
 
 
 class ParallelEvaluator:
@@ -81,19 +120,19 @@ class ParallelEvaluator:
     ) -> List[FitnessEvaluation]:
         """Evaluate ``programs``, returning results in input order."""
         if not self.parallel or len(programs) <= 1:
-            return [self._fitness(p) for p in programs]
+            return _evaluate_with(self._fitness, programs)
         if self._pool is None:
             self._pool = ProcessPoolExecutor(
                 max_workers=self.workers,
                 initializer=_init_worker,
                 initargs=(self._payload,),
             )
-        chunksize = max(1, len(programs) // (self.workers * 4))
-        return list(
-            self._pool.map(
-                _evaluate_in_worker, programs, chunksize=chunksize
-            )
-        )
+        results: List[FitnessEvaluation] = []
+        for shard_results in self._pool.map(
+            _evaluate_shard_in_worker, shard(programs, self.workers)
+        ):
+            results.extend(shard_results)
+        return results
 
     def close(self) -> None:
         """Shut the worker pool down (idempotent)."""

@@ -51,8 +51,29 @@ class SpectrumTrace:
         return float(freqs[idx]), float(dbm[idx])
 
     def power_at(self, frequency_hz: float) -> float:
-        """Displayed power (dBm) of the bin containing ``frequency_hz``."""
-        idx = int(np.argmin(np.abs(self.frequencies_hz - frequency_hz)))
+        """Displayed power (dBm) of the bin containing ``frequency_hz``.
+
+        Raises :class:`ValueError` when ``frequency_hz`` falls outside
+        the trace's bin range (beyond half a bin past the outer
+        centers): the nearest-bin readout would otherwise silently
+        report an unrelated frequency.
+        """
+        freqs = self.frequencies_hz
+        if freqs.size == 0:
+            raise ValueError("empty trace has no bins")
+        half_step = (
+            (freqs[-1] - freqs[0]) / (2.0 * (freqs.size - 1))
+            if freqs.size > 1
+            else 0.0
+        )
+        if not (
+            freqs[0] - half_step <= frequency_hz <= freqs[-1] + half_step
+        ):
+            raise ValueError(
+                f"frequency {frequency_hz / 1e6:.3f} MHz outside trace "
+                f"span {freqs[0] / 1e6:.3f}-{freqs[-1] / 1e6:.3f} MHz"
+            )
+        idx = int(np.argmin(np.abs(freqs - frequency_hz)))
         return float(self.power_dbm[idx])
 
 
@@ -89,24 +110,57 @@ class SpectrumAnalyzer:
         # measurement over the full 150 MHz span), which is why
         # Section 5.3(b) proposes narrowing the measured band.
         self.total_measurement_time_s = 0.0
+        self._bin_cache: dict = {}
+
+    def _settings_key(self) -> Tuple[float, float, float]:
+        return (self.start_hz, self.stop_hz, self.rbw_hz)
 
     def bin_centers(self) -> np.ndarray:
-        n = max(2, int(round((self.stop_hz - self.start_hz) / self.rbw_hz)))
-        return self.start_hz + (np.arange(n) + 0.5) * (
-            (self.stop_hz - self.start_hz) / n
-        )
+        """Bin-center grid for the present span settings (memoized)."""
+        key = self._settings_key()
+        centers = self._bin_cache.get(key)
+        if centers is None:
+            n = max(
+                2, int(round((self.stop_hz - self.start_hz) / self.rbw_hz))
+            )
+            centers = self.start_hz + (np.arange(n) + 0.5) * (
+                (self.stop_hz - self.start_hz) / n
+            )
+            self._bin_cache[key] = centers
+        return centers
 
     # ------------------------------------------------------------------
-    def received_power_w(self, emission: EmissionSpectrum) -> np.ndarray:
-        """Noiseless per-bin signal power for an emission spectrum."""
+    def banded_lines(self, emission: EmissionSpectrum) -> EmissionSpectrum:
+        """Emission lines close enough to the span to land in a bin."""
+        return emission.band(
+            self.start_hz - 4.0 * self.rbw_hz,
+            self.stop_hz + 4.0 * self.rbw_hz,
+        )
+
+    def line_gains(self, frequencies_hz: np.ndarray) -> np.ndarray:
+        """Coupling x antenna amplitude gain per emission line.
+
+        Exposed separately so a :class:`repro.chain.SimulationSession`
+        can cache the propagation scaling per harmonic grid.
+        """
+        return self.coupling.gain() * self.antenna.response(frequencies_hz)
+
+    def received_power_w(
+        self,
+        emission: EmissionSpectrum,
+        gains: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Noiseless per-bin signal power for an emission spectrum.
+
+        ``gains`` optionally supplies precomputed :meth:`line_gains` for
+        ``banded_lines(emission)`` (must align with those lines).
+        """
         centers = self.bin_centers()
         power = np.zeros_like(centers)
-        lines = emission.band(
-            self.start_hz - 4.0 * self.rbw_hz, self.stop_hz + 4.0 * self.rbw_hz
-        )
+        lines = self.banded_lines(emission)
         if lines.frequencies_hz.size == 0:
             return power
-        gain = self.coupling.gain() * self.antenna.response(
+        gain = gains if gains is not None else self.line_gains(
             lines.frequencies_hz
         )
         v_rx = lines.amplitudes * gain
@@ -132,13 +186,53 @@ class SpectrumAnalyzer:
             bins = centers.size
         return bins * self.dwell_s_per_bin
 
-    def sweep(self, emission: EmissionSpectrum) -> SpectrumTrace:
-        """One sweep: signal power plus a fresh noise-floor realization."""
+    def trace_from_power(self, signal_w: np.ndarray) -> SpectrumTrace:
+        """One displayed sweep from precomputed per-bin signal power.
+
+        Adds a fresh noise-floor realization (advancing the analyzer
+        RNG exactly as :meth:`sweep` would) and accounts the sweep's
+        dwell time.
+        """
         centers = self.bin_centers()
-        signal = self.received_power_w(emission)
         noise = self.environment.sample_noise_w(centers.shape, self.rng)
         self.total_measurement_time_s += self.sweep_time_s()
-        return SpectrumTrace(centers, watts_to_dbm(signal + noise))
+        return SpectrumTrace(centers, watts_to_dbm(signal_w + noise))
+
+    def sweep(self, emission: EmissionSpectrum) -> SpectrumTrace:
+        """One sweep: signal power plus a fresh noise-floor realization."""
+        return self.trace_from_power(self.received_power_w(emission))
+
+    def max_amplitude_from_power(
+        self,
+        signal_w: np.ndarray,
+        band: Optional[Sequence[float]] = None,
+        samples: int = 30,
+        mask: Optional[np.ndarray] = None,
+    ) -> float:
+        """RMS-of-``samples`` band maximum from precomputed signal power.
+
+        The noise draws and time accounting are identical to
+        :meth:`max_amplitude`; splitting the deterministic propagation
+        (:meth:`received_power_w`) from the noisy readout lets the chain
+        layer compute the signal once per item and reuse it for both
+        the amplitude metric and the displayed trace.  ``mask``
+        optionally supplies the precomputed boolean bin mask for
+        ``band`` (must match what :meth:`bin_centers` would produce).
+        """
+        band = band or (self.start_hz, self.stop_hz)
+        if mask is None:
+            centers = self.bin_centers()
+            mask = (centers >= band[0]) & (centers <= band[1])
+        if not mask.any():
+            raise ValueError(f"no bins inside band {band}")
+        signal = signal_w[mask]
+        maxima = np.empty(samples)
+        for i in range(samples):
+            noise = self.environment.sample_noise_w(signal.shape, self.rng)
+            maxima[i] = np.max(signal + noise)
+        # A banded measurement only dwells on the requested bins.
+        self.total_measurement_time_s += samples * self.sweep_time_s(band)
+        return float(np.sqrt(np.mean(maxima**2)))
 
     def max_amplitude(
         self,
@@ -152,20 +246,9 @@ class SpectrumAnalyzer:
         :func:`watts_to_dbm` for display.  The RMS-of-30 averaging is
         what makes the metric stable enough to drive the GA.
         """
-        band = band or (self.start_hz, self.stop_hz)
-        centers = self.bin_centers()
-        signal = self.received_power_w(emission)
-        mask = (centers >= band[0]) & (centers <= band[1])
-        if not mask.any():
-            raise ValueError(f"no bins inside band {band}")
-        signal = signal[mask]
-        maxima = np.empty(samples)
-        for i in range(samples):
-            noise = self.environment.sample_noise_w(signal.shape, self.rng)
-            maxima[i] = np.max(signal + noise)
-        # A banded measurement only dwells on the requested bins.
-        self.total_measurement_time_s += samples * self.sweep_time_s(band)
-        return float(np.sqrt(np.mean(maxima**2)))
+        return self.max_amplitude_from_power(
+            self.received_power_w(emission), band=band, samples=samples
+        )
 
     def max_amplitude_dbm(
         self,

@@ -117,12 +117,16 @@ class SteadyStateSolver:
         self._tf_cache: Dict[
             Tuple[int, float], Tuple[np.ndarray, np.ndarray]
         ] = {}
+        #: Number of fresh AC analyses this solver has performed.  The
+        #: chain layer's cache-hit assertions ("at most one analysis per
+        #: distinct cluster state") read this counter.
+        self.tf_analyses = 0
 
     @property
     def nominal_voltage(self) -> float:
         return self._nominal
 
-    def _transfer_functions(
+    def transfer_functions(
         self, n_samples: int, sample_rate_hz: float
     ) -> Tuple[np.ndarray, np.ndarray]:
         """(Z(f_k), H_I(f_k)) on the rfft harmonic grid, cached."""
@@ -130,6 +134,7 @@ class SteadyStateSolver:
         cached = self._tf_cache.get(key)
         if cached is not None:
             return cached
+        self.tf_analyses += 1
         freqs = np.fft.rfftfreq(n_samples, d=1.0 / sample_rate_hz)
         # Skip DC here; the IR drop is handled separately via Z(0+).
         analysis = analyze_ac(self._circuit, self._die_node, freqs[1:])
@@ -152,21 +157,32 @@ class SteadyStateSolver:
         self._tf_cache[key] = (z, h_i)
         return z, h_i
 
+    # Backwards-compatible private alias (pre-chain name).
+    _transfer_functions = transfer_functions
+
     @timed_kernel("pdn.steady_state.solve")
     def solve(
-        self, load_current: np.ndarray, sample_rate_hz: float
+        self,
+        load_current: np.ndarray,
+        sample_rate_hz: float,
+        transfer: Optional[Tuple[np.ndarray, np.ndarray]] = None,
     ) -> PeriodicResponse:
         """Steady-state die waveforms for one period of ``load_current``.
 
         ``load_current`` holds instantaneous amperes drawn by the CPU at
         ``sample_rate_hz``; the waveform is treated as repeating
-        indefinitely.
+        indefinitely.  ``transfer`` optionally supplies a precomputed
+        ``(Z, H_I)`` grid (see :meth:`transfer_functions`) so a
+        session-scoped cache can bypass the solver's own.
         """
         i_load = np.asarray(load_current, dtype=float)
         if i_load.ndim != 1 or i_load.size < 2:
             raise ValueError("load_current must be a 1-D array of >= 2 samples")
         n = i_load.size
-        z, h_i = self._transfer_functions(n, sample_rate_hz)
+        if transfer is not None:
+            z, h_i = transfer
+        else:
+            z, h_i = self.transfer_functions(n, sample_rate_hz)
 
         i_harm = np.fft.rfft(i_load)
         v_harm = -z * i_harm  # load current *drops* the rail

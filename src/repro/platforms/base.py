@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Optional, Sequence, Tuple
+from typing import NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -30,6 +30,16 @@ from repro.cpu.pipeline import Pipeline
 from repro.cpu.program import LoopProgram
 from repro.pdn.models import PDNModel, PDNParameters
 from repro.pdn.steady_state import PeriodicResponse
+
+
+class ClusterState(NamedTuple):
+    """One cluster operating point: the mutable platform state that
+    affects the measurement chain.  Used as a cache key by
+    :class:`repro.chain.SimulationSession`."""
+
+    clock_hz: float
+    voltage: float
+    powered_cores: int
 
 
 class NoiseVisibility(enum.Enum):
@@ -83,6 +93,7 @@ class Cluster:
         self._clock_hz = spec.nominal_clock_hz
         self._voltage = spec.nominal_voltage
         self._powered_cores = spec.num_cores
+        self._state_version = 0
 
     # ------------------------------------------------------------------
     # platform controls (SCP / Overdrive equivalents)
@@ -107,43 +118,94 @@ class Cluster:
     def pdn(self) -> PDNModel:
         return self._pdn
 
-    def set_clock(self, clock_hz: float) -> None:
-        """Set core clock; must be a multiplier-reachable point."""
+    @property
+    def pipeline(self) -> Pipeline:
+        """The core pipeline model (shared by every core in the cluster)."""
+        return self._pipeline
+
+    @property
+    def state_version(self) -> int:
+        """Monotonic counter bumped by every platform-state mutation.
+
+        Session-scoped caches (see :class:`repro.chain.SimulationSession`)
+        compare this against their last-seen value to detect operating
+        point changes without re-reading every field.
+        """
+        return self._state_version
+
+    def state(self) -> ClusterState:
+        """The present operating point as a hashable cache key."""
+        return ClusterState(
+            clock_hz=self._clock_hz,
+            voltage=self._voltage,
+            powered_cores=self._powered_cores,
+        )
+
+    def validate_clock(self, clock_hz: float) -> None:
+        """Raise unless ``clock_hz`` is a multiplier-reachable point."""
         allowed = self.spec.allowed_clocks_hz()
         if not any(abs(clock_hz - f) < 1.0 for f in allowed):
             raise ValueError(
                 f"{self.name}: clock {clock_hz / 1e6:.0f} MHz not reachable; "
                 f"step is {self.spec.clock_step_hz / 1e6:.0f} MHz"
             )
-        self._clock_hz = clock_hz
 
-    def set_voltage(self, volts: float) -> None:
+    def validate_voltage(self, volts: float) -> None:
         if not 0.4 <= volts <= 1.6:
             raise ValueError(f"{self.name}: voltage {volts} V out of range")
-        self._voltage = volts
 
-    def power_gate(self, powered_cores: int) -> None:
-        """Leave ``powered_cores`` cores powered; gate the rest off."""
+    def validate_powered_cores(self, powered_cores: int) -> None:
         if not 1 <= powered_cores <= self.spec.num_cores:
             raise ValueError(
                 f"{self.name}: powered cores must be 1..{self.spec.num_cores}"
             )
+
+    def set_clock(self, clock_hz: float) -> None:
+        """Set core clock; must be a multiplier-reachable point."""
+        self.validate_clock(clock_hz)
+        self._clock_hz = clock_hz
+        self._state_version += 1
+
+    def set_voltage(self, volts: float) -> None:
+        self.validate_voltage(volts)
+        self._voltage = volts
+        self._state_version += 1
+
+    def power_gate(self, powered_cores: int) -> None:
+        """Leave ``powered_cores`` cores powered; gate the rest off."""
+        self.validate_powered_cores(powered_cores)
         self._powered_cores = powered_cores
+        self._state_version += 1
 
     def reset(self) -> None:
         """Back to nominal V/F with all cores powered."""
         self._clock_hz = self.spec.nominal_clock_hz
         self._voltage = self.spec.nominal_voltage
         self._powered_cores = self.spec.num_cores
+        self._state_version += 1
 
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
-    def _current_scale(self) -> float:
-        """Dynamic-current scaling for the present operating point."""
-        return (self._clock_hz / self.spec.nominal_clock_hz) * (
-            self._voltage / self.spec.nominal_voltage
+    def current_scale(
+        self,
+        clock_hz: Optional[float] = None,
+        voltage: Optional[float] = None,
+    ) -> float:
+        """Dynamic-current scaling for an operating point.
+
+        Defaults to the present platform state; the chain layer passes
+        explicit per-item values so a batched sweep never mutates the
+        cluster.
+        """
+        clock = clock_hz if clock_hz is not None else self._clock_hz
+        volts = voltage if voltage is not None else self._voltage
+        return (clock / self.spec.nominal_clock_hz) * (
+            volts / self.spec.nominal_voltage
         )
+
+    def _current_scale(self) -> float:
+        return self.current_scale()
 
     def run(
         self,

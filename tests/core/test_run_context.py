@@ -94,11 +94,10 @@ class TestSweepRun:
         assert len(again.points) == len(result.points)
         assert again.resonance_hz() == result.resonance_hz()
 
-    def test_bare_cluster_is_deprecated_but_works(self, a53):
+    def test_bare_cluster_raises_type_error(self, a53):
         sweep = ResonanceSweep(make_characterizer(), samples_per_point=2)
-        with pytest.warns(DeprecationWarning, match="RunContext"):
-            result = sweep.run(a53, clocks_hz=self._clocks(a53))
-        assert result.resonance_hz() > 0.0
+        with pytest.raises(TypeError, match="RunContext"):
+            sweep.run(a53, clocks_hz=self._clocks(a53))
 
 
 class TestVirusGeneratorRun:

@@ -7,6 +7,7 @@ from repro.em.propagation import AmbientEnvironment
 from repro.em.radiation import EmissionSpectrum
 from repro.instruments.spectrum_analyzer import (
     SpectrumAnalyzer,
+    SpectrumTrace,
     dbm_to_watts,
     watts_to_dbm,
 )
@@ -74,6 +75,19 @@ class TestSweep:
         assert trace.power_at(120e6) == pytest.approx(
             trace.peak()[1], abs=3.0
         )
+
+    def test_power_at_outside_span_raises(self):
+        sa = analyzer()
+        trace = sa.sweep(single_line(freq=120e6))
+        with pytest.raises(ValueError, match="outside trace"):
+            trace.power_at(sa.stop_hz + 10 * sa.rbw_hz)
+        with pytest.raises(ValueError, match="outside trace"):
+            trace.power_at(sa.start_hz - 10 * sa.rbw_hz)
+
+    def test_power_at_empty_trace_raises(self):
+        trace = SpectrumTrace(np.empty(0), np.empty(0))
+        with pytest.raises(ValueError, match="empty trace"):
+            trace.power_at(100e6)
 
     def test_banded_peak(self):
         sa = analyzer()
