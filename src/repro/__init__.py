@@ -41,6 +41,13 @@ from repro.core import (
     ResonanceSweep,
     VirusGenerator,
 )
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+    load_fault_plan,
+)
 from repro.platforms import (
     JunoBoard,
     AMDDesktop,
@@ -64,6 +71,11 @@ __all__ = [
     "MultiDomainSpectrum",
     "ResonanceSweep",
     "VirusGenerator",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "RetryPolicy",
+    "load_fault_plan",
     "JunoBoard",
     "AMDDesktop",
     "make_juno_board",

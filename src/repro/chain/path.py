@@ -27,22 +27,31 @@ from repro.chain.stages import (
     resolve_request,
 )
 from repro.chain.types import ChainRequest, ChainResult
+from repro.faults.plan import NULL_INJECTOR, FaultInjector
 from repro.obs.events import NULL_LOG, EventLog
 from repro.obs.timing import kernel_section
 
 
 class SignalPath:
-    """An ordered stage composition sharing one simulation session."""
+    """An ordered stage composition sharing one simulation session.
+
+    An armed :class:`repro.faults.FaultInjector` is consulted at every
+    stage boundary (site ``chain.<stage>``), which is how the chaos
+    suite makes measurement-chain runs fail on schedule; the default
+    disarmed injector costs one attribute check per stage.
+    """
 
     def __init__(
         self,
         stages: List[Stage],
         session: Optional[SimulationSession] = None,
+        injector: Optional[FaultInjector] = None,
     ):
         self.stages = list(stages)
         self.session = session if session is not None else (
             SimulationSession()
         )
+        self.injector = injector if injector is not None else NULL_INJECTOR
 
     @classmethod
     def em_chain(
@@ -50,6 +59,7 @@ class SignalPath:
         radiator,
         analyzer,
         session: Optional[SimulationSession] = None,
+        injector: Optional[FaultInjector] = None,
     ) -> "SignalPath":
         """The paper's chain: CPU -> PDN -> EM radiation -> analyzer."""
         return cls(
@@ -62,6 +72,7 @@ class SignalPath:
                 ReceiveStage(analyzer),
             ],
             session=session,
+            injector=injector,
         )
 
     def run(
@@ -72,6 +83,7 @@ class SignalPath:
         before = self.session.stats.snapshot()
         stage_times = {}
         for stage in self.stages:
+            self.injector.visit(f"chain.{stage.name}")
             start = time.monotonic()
             with kernel_section(f"chain.{stage.name}"):
                 stage.run(batch)

@@ -34,6 +34,7 @@ import numpy as np
 from repro.core.characterizer import EMCharacterizer
 from repro.core.resonance import ResonanceSweep
 from repro.core.virusgen import VirusGenerator
+from repro.faults.retry import RetryPolicy
 from repro.ga.engine import GAConfig
 from repro.instruments.spectrum_analyzer import (
     SpectrumAnalyzer,
@@ -183,7 +184,29 @@ def cmd_virus(args) -> int:
     checkpoint_path = args.checkpoint
     if checkpoint_path is None and out_dir is not None:
         checkpoint_path = out_dir / CHECKPOINT_FILENAME
-    resume = load_checkpoint(args.resume) if args.resume else None
+    fault_injector = None
+    if args.fault_plan:
+        from repro.faults import FaultInjector, load_fault_plan
+
+        try:
+            fault_injector = FaultInjector(
+                load_fault_plan(args.fault_plan)
+            )
+        except (OSError, ValueError) as exc:
+            print(f"error: bad fault plan: {exc}", file=sys.stderr)
+            return 2
+        manifest.extra["fault_plan"] = str(args.fault_plan)
+    retry_policy = RetryPolicy(
+        max_retries=args.max_retries,
+        base_delay_s=0.05,
+        seed=args.seed,
+    )
+    manifest.extra["max_retries"] = args.max_retries
+    resume = (
+        load_checkpoint(args.resume, event_log=log)
+        if args.resume
+        else None
+    )
     if resume is not None:
         manifest.extra["resumed_from"] = str(args.resume)
         manifest.extra["resumed_at_generation"] = resume.generation
@@ -194,6 +217,8 @@ def cmd_virus(args) -> int:
         event_log=log,
         checkpoint_path=checkpoint_path,
         checkpoint_every=args.checkpoint_every,
+        retry_policy=retry_policy,
+        fault_injector=fault_injector,
     )
 
     def progress(record):
@@ -378,6 +403,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="checkpoint file (default: <out>/checkpoint.json)")
     p.add_argument("--checkpoint-every", type=int, default=5,
                    help="generations between checkpoints")
+    p.add_argument("--fault-plan", default=None,
+                   help="JSON fault plan armed during the run "
+                        "(see docs/testing.md)")
+    p.add_argument("--max-retries", type=int, default=2,
+                   help="retry budget for transient measurement and "
+                        "checkpoint-IO faults")
     p.add_argument("--resume", default=None,
                    help="resume from a checkpoint file; continues "
                    "bit-identically (same flags except --generations "

@@ -55,6 +55,7 @@ class EMCharacterizer:
         band: Tuple[float, float] = FIRST_ORDER_BAND,
         samples: int = 30,
         session: Optional[SimulationSession] = None,
+        fault_injector=None,
     ):
         self.analyzer = analyzer or SpectrumAnalyzer()
         self.radiator = radiator or DieRadiator()
@@ -65,6 +66,9 @@ class EMCharacterizer:
         self.session = session if session is not None else (
             SimulationSession()
         )
+        #: Optional repro.faults.FaultInjector armed at every chain
+        #: stage boundary of this characterizer's measurements.
+        self.fault_injector = fault_injector
 
     def chain_path(self) -> SignalPath:
         """The measurement chain for the present receive hardware.
@@ -74,7 +78,10 @@ class EMCharacterizer:
         the expensive state lives in the persistent :attr:`session`.
         """
         return SignalPath.em_chain(
-            self.radiator, self.analyzer, session=self.session
+            self.radiator,
+            self.analyzer,
+            session=self.session,
+            injector=self.fault_injector,
         )
 
     # ------------------------------------------------------------------

@@ -51,6 +51,8 @@ class VirusGenerator:
         event_log: Optional[EventLog] = None,
         checkpoint_path: Optional[Union[str, Path]] = None,
         checkpoint_every: int = 5,
+        retry_policy=None,
+        fault_injector=None,
     ):
         self.cluster = cluster
         self.characterizer = characterizer or EMCharacterizer()
@@ -60,6 +62,11 @@ class VirusGenerator:
         self.event_log = event_log if event_log is not None else NULL_LOG
         self.checkpoint_path = checkpoint_path
         self.checkpoint_every = checkpoint_every
+        #: Optional repro.faults resilience knobs: the policy retries
+        #: transient measurement faults and checkpoint writes, the
+        #: injector schedules deterministic chaos faults.
+        self.retry_policy = retry_policy
+        self.fault_injector = fault_injector
 
     # ------------------------------------------------------------------
     def run(
@@ -88,6 +95,8 @@ class VirusGenerator:
             event_log=ctx.event_log,
             checkpoint_path=self.checkpoint_path,
             checkpoint_every=self.checkpoint_every,
+            retry_policy=self.retry_policy,
+            fault_injector=self.fault_injector,
         )
         return runner.generate_em_virus(
             progress=progress, band=band, samples=samples, resume=resume
@@ -107,7 +116,13 @@ class VirusGenerator:
             metric=metric,
             resumed=resume is not None,
         )
-        engine = GAEngine(fitness, config=self.config, pool=self.pool)
+        engine = GAEngine(
+            fitness,
+            config=self.config,
+            pool=self.pool,
+            retry_policy=self.retry_policy,
+            fault_injector=self.fault_injector,
+        )
         result = engine.run(
             self.cluster.spec.isa,
             progress=progress,
@@ -228,6 +243,7 @@ class VirusGenerator:
             # same execution and transfer-function caches.  Worker
             # dispatch drops it in pickling; each worker warms its own.
             session=self.characterizer.session,
+            fault_injector=self.fault_injector,
         )
         return self._run_ga(
             ClusterFitness(fitness_fn, self.cluster),

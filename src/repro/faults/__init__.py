@@ -1,0 +1,53 @@
+"""Fault injection and resilience for the measurement chain and GA.
+
+Long campaigns against physical instruments survive because the
+harness degrades gracefully: transient instrument faults are retried
+(with the instrument RNG rewound, so a retried-to-success run is
+bit-identical to a fault-free one), crashed workers are re-dispatched
+and eventually degraded to serial evaluation, persistently failing
+genomes are quarantined with a penalty fitness, and corrupted
+checkpoints fall back to rotated copies.  This package provides the
+deterministic fault *source* (:class:`FaultPlan` /
+:class:`FaultInjector`) and the shared resilience knobs
+(:class:`RetryPolicy`); the handling lives at the arming sites --
+:class:`repro.chain.SignalPath`, :class:`repro.ga.parallel.
+ParallelEvaluator`, :mod:`repro.io.serialization`.
+
+See ``docs/testing.md`` for how to write a fault plan and what the
+chaos suite (``tests/faults/``) pins.
+"""
+
+from repro.faults.errors import (
+    FAULT_KINDS,
+    RETRYABLE_FAULTS,
+    CorruptArtifact,
+    FaultError,
+    StageTimeout,
+    TransientFault,
+    WorkerCrash,
+)
+from repro.faults.plan import (
+    NULL_INJECTOR,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    load_fault_plan,
+)
+from repro.faults.retry import RetryPolicy, call_with_retry
+
+__all__ = [
+    "CorruptArtifact",
+    "FAULT_KINDS",
+    "FaultError",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "NULL_INJECTOR",
+    "RETRYABLE_FAULTS",
+    "RetryPolicy",
+    "StageTimeout",
+    "TransientFault",
+    "WorkerCrash",
+    "call_with_retry",
+    "load_fault_plan",
+]

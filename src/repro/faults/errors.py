@@ -1,0 +1,84 @@
+"""Typed faults for the injection and resilience layer.
+
+Every fault the :class:`repro.faults.FaultInjector` can raise (and
+every failure the resilient execution paths know how to handle) is a
+subclass of :class:`FaultError`, carrying the *site* where it fired
+(``chain.receive``, ``worker.shard``, ``checkpoint.save`` ...) so
+handlers can report it in ``fault_injected`` events without parsing
+messages.
+
+The taxonomy mirrors what a long campaign against a physical
+spectrum analyzer actually sees:
+
+``TransientFault``
+    A flaky-but-recoverable error (instrument glitch, dropped VISA
+    reply).  Retrying the same operation is expected to succeed.
+``WorkerCrash``
+    A fitness-evaluation worker process died (or simulated dying).
+    The shard it held must be re-dispatched or evaluated serially.
+``CorruptArtifact``
+    A persisted artifact (checkpoint, archive) failed validation:
+    truncated file, checksum mismatch, torn write.
+``StageTimeout``
+    A chain stage or worker dispatch exceeded its wall-clock budget.
+
+Exceptions cross the ``ProcessPoolExecutor`` boundary by pickling, so
+``__reduce__`` preserves the ``site`` attribute.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple, Type
+
+
+class FaultError(Exception):
+    """Base class for injected or detected measurement-chain faults."""
+
+    #: Short machine-readable fault kind; mirrored by FaultSpec.kind.
+    kind = "fault"
+
+    def __init__(self, message: str = "", site: Optional[str] = None):
+        super().__init__(message or self.kind)
+        self.site = site
+
+    def __reduce__(self) -> Tuple:
+        return (self.__class__, (str(self), self.site))
+
+
+class TransientFault(FaultError):
+    """Recoverable one-off failure: retry the operation."""
+
+    kind = "transient"
+
+
+class WorkerCrash(FaultError):
+    """A worker process died mid-shard (or simulated dying)."""
+
+    kind = "worker_crash"
+
+
+class CorruptArtifact(FaultError):
+    """A persisted artifact failed integrity validation."""
+
+    kind = "corrupt_artifact"
+
+
+class StageTimeout(FaultError):
+    """A stage or dispatch exceeded its wall-clock budget."""
+
+    kind = "stage_timeout"
+
+
+#: Faults that retrying the same operation may clear.  WorkerCrash is
+#: deliberately absent: it is handled by the shard re-dispatch /
+#: degrade-to-serial logic, not by blind in-place retries.
+RETRYABLE_FAULTS: Tuple[Type[FaultError], ...] = (
+    TransientFault,
+    StageTimeout,
+)
+
+#: kind string -> exception class, for FaultSpec validation/raising.
+FAULT_KINDS: Dict[str, Type[FaultError]] = {
+    cls.kind: cls
+    for cls in (TransientFault, WorkerCrash, CorruptArtifact, StageTimeout)
+}

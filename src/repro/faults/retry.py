@@ -1,0 +1,127 @@
+"""Retry with jittered exponential backoff, and state-safe wrappers.
+
+:class:`RetryPolicy` is the single knob object the resilient execution
+paths share: per-item/batch retry budget, exponential backoff with
+deterministic seeded jitter, and an optional wall-clock budget for
+worker dispatch.  :func:`call_with_retry` applies a policy around any
+callable, with optional *state capture/restore* hooks so a retried
+measurement replays the exact RNG stream the failed attempt consumed --
+the mechanism behind the chaos suite's bit-identical-after-retry
+guarantee (a fitness exposing ``fitness_state`` /
+``restore_fitness_state`` gets its instrument RNGs rewound before
+every retry and after final failure).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Optional, Tuple, Type
+
+from repro.faults.errors import RETRYABLE_FAULTS, FaultError
+from repro.obs.events import NULL_LOG, EventLog
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Shared resilience knobs for batch evaluation and checkpoint IO.
+
+    ``max_retries`` is the number of *re*-attempts after the first
+    failure (0 disables retrying but keeps quarantine salvage).  The
+    attempt-``k`` delay is ``base_delay_s * backoff**k`` capped at
+    ``max_delay_s``, scaled down by up to ``jitter`` (a fraction in
+    [0, 1]) drawn from a policy-seeded PRNG -- deterministic given the
+    seed, so chaos runs are replayable.  ``timeout_s`` bounds each
+    worker-shard wait in the parallel evaluator; a dispatch exceeding
+    it is treated as a crashed worker.
+    """
+
+    max_retries: int = 2
+    base_delay_s: float = 0.0
+    backoff: float = 2.0
+    max_delay_s: float = 1.0
+    jitter: float = 0.25
+    timeout_s: Optional[float] = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.base_delay_s < 0.0:
+            raise ValueError("base_delay_s must be >= 0")
+        if self.backoff < 1.0:
+            raise ValueError("backoff must be >= 1")
+        if self.max_delay_s < 0.0:
+            raise ValueError("max_delay_s must be >= 0")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        if self.timeout_s is not None and self.timeout_s <= 0.0:
+            raise ValueError("timeout_s must be positive")
+
+    def delay_s(self, attempt: int, rng: random.Random) -> float:
+        """Backoff delay before retry number ``attempt`` (0-based)."""
+        delay = min(
+            self.base_delay_s * self.backoff ** attempt, self.max_delay_s
+        )
+        if self.jitter > 0.0 and delay > 0.0:
+            delay *= 1.0 - self.jitter * rng.random()
+        return delay
+
+    def jitter_rng(self) -> random.Random:
+        """A fresh deterministic jitter stream for one retry scope."""
+        return random.Random(self.seed)
+
+
+def call_with_retry(
+    fn: Callable[[], Any],
+    policy: RetryPolicy,
+    *,
+    event_log: EventLog = NULL_LOG,
+    scope: str = "call",
+    retry_on: Tuple[Type[BaseException], ...] = RETRYABLE_FAULTS,
+    capture_state: Optional[Callable[[], Any]] = None,
+    restore_state: Optional[Callable[[Any], None]] = None,
+    sleep: Callable[[float], None] = time.sleep,
+) -> Any:
+    """Run ``fn`` under ``policy``, retrying faults in ``retry_on``.
+
+    Emits ``fault_injected`` when a :class:`FaultError` is caught and
+    ``retry_attempt`` before each retry.  When state hooks are given,
+    the pre-attempt state is restored before every retry *and* before
+    re-raising after the budget is exhausted, so the caller's RNG
+    streams are exactly where they were had ``fn`` never run.
+    """
+    rng = policy.jitter_rng()
+    state = capture_state() if capture_state is not None else None
+    for attempt in range(policy.max_retries + 1):
+        try:
+            return fn()
+        except retry_on as exc:
+            site = getattr(exc, "site", None)
+            kind = getattr(exc, "kind", type(exc).__name__)
+            if isinstance(exc, FaultError):
+                event_log.emit(
+                    "fault_injected",
+                    site=site,
+                    kind=kind,
+                    scope=scope,
+                    error=str(exc),
+                )
+            if restore_state is not None and state is not None:
+                restore_state(state)
+            if attempt >= policy.max_retries:
+                raise
+            delay = policy.delay_s(attempt, rng)
+            event_log.emit(
+                "retry_attempt",
+                scope=scope,
+                attempt=attempt + 1,
+                max_retries=policy.max_retries,
+                site=site,
+                kind=kind,
+                delay_s=round(delay, 6),
+            )
+            if delay > 0.0:
+                sleep(delay)
+    raise AssertionError("unreachable")  # pragma: no cover

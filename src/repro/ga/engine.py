@@ -33,6 +33,8 @@ from repro.ga.operators import (
     tournament_selection,
 )
 from repro.ga.parallel import ParallelEvaluator
+from repro.faults.plan import FaultInjector
+from repro.faults.retry import RetryPolicy, call_with_retry
 from repro.obs.events import NULL_LOG, EventLog
 from repro.obs.timing import collect_kernel_timings
 
@@ -164,15 +166,27 @@ class GAEngine:
         config: GAConfig = GAConfig(),
         pool: Optional[Sequence[InstructionSpec]] = None,
         memoize: bool = True,
+        retry_policy: Optional[RetryPolicy] = None,
+        fault_injector: Optional[FaultInjector] = None,
     ):
         """``memoize=False`` disables the per-genome fitness cache --
         required when the fitness signal is nondeterministic (e.g. the
         cache-miss ablation), where re-measuring a clone legitimately
-        yields a different score."""
+        yields a different score.
+
+        ``retry_policy`` / ``fault_injector`` are resilience knobs (see
+        :mod:`repro.faults`): the policy retries transient measurement
+        faults and checkpoint writes with bit-identical state rewind,
+        the injector schedules deterministic faults for chaos testing.
+        They are deliberately *not* part of :class:`GAConfig`, so
+        checkpoints taken under chaos resume cleanly without them.
+        """
         self._fitness = fitness
         self.config = config
         self._pool = tuple(pool) if pool is not None else None
         self._memoize = memoize
+        self._retry_policy = retry_policy
+        self._fault_injector = fault_injector
         self._cache: Dict[Tuple, FitnessEvaluation] = {}
 
     @property
@@ -275,6 +289,33 @@ class GAEngine:
             fitness_state=self._capture_fitness_state(),
         )
 
+    def _save_checkpoint_resilient(
+        self,
+        checkpoint: GACheckpoint,
+        checkpoint_path: Union[str, Path],
+        log: EventLog,
+    ) -> Path:
+        """Write a checkpoint, retrying transient IO faults if a
+        :class:`RetryPolicy` is attached (writes are atomic, so a
+        failed attempt leaves the previous checkpoint intact)."""
+        from repro.io.serialization import save_checkpoint
+
+        def write() -> Path:
+            return save_checkpoint(
+                checkpoint,
+                checkpoint_path,
+                injector=self._fault_injector,
+            )
+
+        if self._retry_policy is None:
+            return write()
+        return call_with_retry(
+            write,
+            self._retry_policy,
+            event_log=log,
+            scope="checkpoint-save",
+        )
+
     def run(
         self,
         isa,
@@ -337,7 +378,13 @@ class GAEngine:
             resumed_from_generation=start_gen if resume else None,
             cache_size=len(self._cache),
         )
-        evaluator = ParallelEvaluator(self._fitness, cfg.workers)
+        evaluator = ParallelEvaluator(
+            self._fitness,
+            cfg.workers,
+            retry_policy=self._retry_policy,
+            fault_injector=self._fault_injector,
+            event_log=log,
+        )
         try:
             for gen in range(start_gen, cfg.generations):
                 log.emit(
@@ -375,6 +422,7 @@ class GAEngine:
                     dispatched_workers=(
                         evaluator.workers if evaluator.parallel else 1
                     ),
+                    quarantined=len(evaluator.quarantined) or None,
                     kernel_timings=timings.snapshot() or None,
                 )
                 if progress is not None:
@@ -387,13 +435,12 @@ class GAEngine:
                 if checkpoint_path is not None and (
                     (gen + 1) % checkpoint_every == 0
                 ):
-                    from repro.io.serialization import save_checkpoint
-
-                    saved = save_checkpoint(
+                    saved = self._save_checkpoint_resilient(
                         self._make_checkpoint(
                             gen + 1, population, rng, history, evaluations
                         ),
                         checkpoint_path,
+                        log,
                     )
                     log.emit(
                         "checkpoint_saved",

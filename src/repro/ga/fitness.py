@@ -119,6 +119,10 @@ class EMAmplitudeFitness:
     # private one lazily.  Sessions are process-local: pickling for
     # worker dispatch drops it so each worker warms its own.
     session: object = None
+    # Optional repro.faults.FaultInjector armed at the chain's stage
+    # boundaries.  Unlike the session it survives pickling, so worker
+    # processes inherit the fault plan (with fresh visit counters).
+    fault_injector: object = None
 
     def __post_init__(self) -> None:
         if self.radiator is None:
@@ -132,7 +136,10 @@ class EMAmplitudeFitness:
             from repro.chain import SignalPath
 
             path = SignalPath.em_chain(
-                self.radiator, self.analyzer, session=self.session
+                self.radiator,
+                self.analyzer,
+                session=self.session,
+                injector=self.fault_injector,
             )
             self._path = path
         return path

@@ -1,4 +1,4 @@
-"""Parallel fitness evaluation for the GA engine.
+"""Parallel fitness evaluation for the GA engine, with resilience.
 
 A generation's unseen genomes are independent measurements, so they can
 be fanned out across worker processes.  The dispatch model is:
@@ -11,39 +11,88 @@ be fanned out across worker processes.  The dispatch model is:
    single batched call, and
 3. per-shard results are flattened back in submission order.
 
-Ordering is deterministic: ``executor.map`` returns shard results in
-the order shards were submitted and each shard preserves item order,
-so a *pure* fitness function produces bit-identical ``GAResult``
-histories at any worker count (the ``workers=4 == workers=1``
-determinism test).  A fitness that mutates hidden state per call
-(e.g. a spectrum analyzer advancing its RNG) keeps that state
-per-process under parallel dispatch, so its scores are only
-reproducible serially -- leave ``workers=1`` for those.
+Ordering is deterministic: shard results are collected in the order
+shards were submitted and each shard preserves item order, so a *pure*
+fitness function produces bit-identical ``GAResult`` histories at any
+worker count (the ``workers=4 == workers=1`` determinism test).  A
+fitness that mutates hidden state per call (e.g. a spectrum analyzer
+advancing its RNG) keeps that state per-process under parallel
+dispatch, so its scores are only reproducible serially -- leave
+``workers=1`` for those.
 
 Fitness callables must be picklable to cross the process boundary
 (plain functions, dataclass instances such as
 :class:`repro.ga.fitness.ClusterFitness` -- not closures).  An
 unpicklable fitness degrades gracefully to serial evaluation.
+
+Resilience (see :mod:`repro.faults`): with a
+:class:`~repro.faults.RetryPolicy` attached, transient faults raised
+inside batch evaluation are retried with the fitness's RNG state
+rewound (``fitness_state`` protocol), so a retried-to-success run is
+bit-identical to a fault-free one.  Crashed workers
+(:class:`~repro.faults.WorkerCrash`, ``BrokenProcessPool``, dispatch
+timeouts) get their shards re-dispatched; after
+``max_pool_restarts`` crash events the evaluator emits
+``degraded_to_serial`` and finishes the campaign in-process.  A genome
+that keeps failing after per-item retries is *quarantined*: it scores
+:data:`PENALTY_SCORE` (emitting ``genome_quarantined``) so the GA
+keeps advancing instead of dying with the instrument.
 """
 
 from __future__ import annotations
 
 import pickle
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures import ProcessPoolExecutor
-from typing import Callable, List, Optional, Sequence
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, List, Optional, Sequence, Set, Tuple
 
 from repro.cpu.program import LoopProgram
+from repro.faults.errors import (
+    RETRYABLE_FAULTS,
+    StageTimeout,
+    WorkerCrash,
+)
+from repro.faults.plan import NULL_INJECTOR, FaultInjector
+from repro.faults.retry import RetryPolicy, call_with_retry
 from repro.ga.fitness import FitnessEvaluation
+from repro.obs.events import NULL_LOG, EventLog
 
-# Per-worker fitness instance, installed once by the pool initializer so
-# each task ships only its (small) LoopProgram shard, not the whole
+#: Score assigned to quarantined genomes.  Real fitness metrics
+#: (EM amplitude in watts, droop in volts) are strictly positive, so
+#: zero ranks a quarantined individual below every healthy one while
+#: keeping generation means finite.
+PENALTY_SCORE = 0.0
+
+#: Crash events (WorkerCrash / broken pool / dispatch timeout) after
+#: which the evaluator stops re-dispatching and finishes serially.
+DEFAULT_MAX_POOL_RESTARTS = 3
+
+# Per-worker fitness/injector, installed once by the pool initializer
+# so each task ships only its (small) LoopProgram shard, not the whole
 # measurement chain.
 _WORKER_FITNESS: Optional[Callable] = None
+_WORKER_INJECTOR: FaultInjector = NULL_INJECTOR
+_WORKER_POLICY: Optional[RetryPolicy] = None
+
+
+def penalty_evaluation() -> FitnessEvaluation:
+    """The placeholder evaluation a quarantined genome receives."""
+    return FitnessEvaluation(
+        score=PENALTY_SCORE,
+        dominant_frequency_hz=0.0,
+        max_droop_v=0.0,
+        peak_to_peak_v=0.0,
+        ipc=0.0,
+        loop_frequency_hz=0.0,
+    )
 
 
 def _init_worker(payload: bytes) -> None:
-    global _WORKER_FITNESS
-    _WORKER_FITNESS = pickle.loads(payload)
+    global _WORKER_FITNESS, _WORKER_INJECTOR, _WORKER_POLICY
+    _WORKER_FITNESS, _WORKER_INJECTOR, _WORKER_POLICY = pickle.loads(
+        payload
+    )
 
 
 def _evaluate_with(
@@ -56,6 +105,16 @@ def _evaluate_with(
     return [fitness(p) for p in programs]
 
 
+def _state_hooks(
+    fitness: Callable,
+) -> Tuple[Optional[Callable], Optional[Callable]]:
+    """(capture, restore) fitness-state hooks, if the fitness has them."""
+    return (
+        getattr(fitness, "fitness_state", None),
+        getattr(fitness, "restore_fitness_state", None),
+    )
+
+
 def _evaluate_in_worker(program: LoopProgram) -> FitnessEvaluation:
     return _WORKER_FITNESS(program)
 
@@ -63,7 +122,26 @@ def _evaluate_in_worker(program: LoopProgram) -> FitnessEvaluation:
 def _evaluate_shard_in_worker(
     programs: Sequence[LoopProgram],
 ) -> List[FitnessEvaluation]:
-    return _evaluate_with(_WORKER_FITNESS, programs)
+    """One shard, inside a worker: fault site + local transient retry.
+
+    Transient chain faults are retried here with the worker-local
+    fitness state rewound; anything that survives the worker's budget
+    (including :class:`WorkerCrash`) propagates to the parent, which
+    re-dispatches or salvages the shard.  Worker-side retries cannot
+    reach the parent's event log, so they are silent; the parent-side
+    serial path is the one the chaos suite asserts events from.
+    """
+    _WORKER_INJECTOR.visit("worker.shard")
+    if _WORKER_POLICY is None:
+        return _evaluate_with(_WORKER_FITNESS, programs)
+    capture, restore = _state_hooks(_WORKER_FITNESS)
+    return call_with_retry(
+        lambda: _evaluate_with(_WORKER_FITNESS, programs),
+        _WORKER_POLICY,
+        scope="worker-shard",
+        capture_state=capture,
+        restore_state=restore,
+    )
 
 
 def shard(
@@ -95,44 +173,250 @@ class ParallelEvaluator:
         silently evaluates serially in-process (``parallel`` is False).
     workers:
         Pool size; 1 means serial.
+    retry_policy:
+        Optional :class:`~repro.faults.RetryPolicy`.  Without one,
+        transient faults propagate to the caller unchanged (the
+        historical behavior); with one, batches are retried, failing
+        shards re-dispatched and persistent failures quarantined.
+    fault_injector:
+        Optional armed :class:`~repro.faults.FaultInjector`, shipped to
+        workers alongside the fitness (site ``worker.shard``).
+    event_log:
+        Destination for ``fault_injected`` / ``retry_attempt`` /
+        ``degraded_to_serial`` / ``genome_quarantined`` events.
+    max_pool_restarts:
+        Crash events tolerated before degrading to serial execution.
     """
 
-    def __init__(self, fitness: Callable, workers: int):
+    def __init__(
+        self,
+        fitness: Callable,
+        workers: int,
+        retry_policy: Optional[RetryPolicy] = None,
+        fault_injector: Optional[FaultInjector] = None,
+        event_log: EventLog = NULL_LOG,
+        max_pool_restarts: int = DEFAULT_MAX_POOL_RESTARTS,
+    ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if max_pool_restarts < 0:
+            raise ValueError("max_pool_restarts must be >= 0")
         self._fitness = fitness
         self.workers = workers
+        self._policy = retry_policy
+        self._injector = (
+            fault_injector if fault_injector is not None else NULL_INJECTOR
+        )
+        self._log = event_log
+        self._max_pool_restarts = max_pool_restarts
         self._pool: Optional[ProcessPoolExecutor] = None
         self._payload: Optional[bytes] = None
+        #: Crash events seen so far (worker deaths, broken pools,
+        #: dispatch timeouts).
+        self.pool_crashes = 0
+        #: Whether the evaluator has permanently fallen back to serial.
+        self.degraded = False
+        #: Genomes quarantined with a penalty score this run.
+        self.quarantined: Set[Tuple] = set()
         if workers > 1:
             try:
-                self._payload = pickle.dumps(fitness)
+                self._payload = pickle.dumps(
+                    (fitness, self._injector, retry_policy)
+                )
             except Exception:
                 self._payload = None
 
     @property
     def parallel(self) -> bool:
         """Whether batches actually fan out to worker processes."""
-        return self._payload is not None
+        return self._payload is not None and not self.degraded
 
     def evaluate(
         self, programs: Sequence[LoopProgram]
     ) -> List[FitnessEvaluation]:
         """Evaluate ``programs``, returning results in input order."""
         if not self.parallel or len(programs) <= 1:
+            return self._evaluate_serial(programs)
+        return self._evaluate_parallel(programs)
+
+    # ------------------------------------------------------------------
+    # serial path (workers=1, unpicklable fitness, or degraded)
+    # ------------------------------------------------------------------
+    def _evaluate_serial(
+        self, programs: Sequence[LoopProgram]
+    ) -> List[FitnessEvaluation]:
+        if self._policy is None:
             return _evaluate_with(self._fitness, programs)
+        capture, restore = _state_hooks(self._fitness)
+        try:
+            return call_with_retry(
+                lambda: _evaluate_with(self._fitness, programs),
+                self._policy,
+                event_log=self._log,
+                scope="batch",
+                capture_state=capture,
+                restore_state=restore,
+            )
+        except RETRYABLE_FAULTS:
+            # The whole batch kept failing; salvage item by item so one
+            # poisoned genome cannot take the generation down with it.
+            return self._salvage_items(programs)
+
+    def _salvage_items(
+        self, programs: Sequence[LoopProgram]
+    ) -> List[FitnessEvaluation]:
+        capture, restore = _state_hooks(self._fitness)
+        results: List[FitnessEvaluation] = []
+        for program in programs:
+            try:
+                results.append(
+                    call_with_retry(
+                        lambda p=program: _evaluate_with(
+                            self._fitness, [p]
+                        )[0],
+                        self._policy,
+                        event_log=self._log,
+                        scope="item",
+                        capture_state=capture,
+                        restore_state=restore,
+                    )
+                )
+            except RETRYABLE_FAULTS as exc:
+                genome = program.genome()
+                self.quarantined.add(genome)
+                self._log.emit(
+                    "genome_quarantined",
+                    program=program.name,
+                    site=getattr(exc, "site", None),
+                    kind=getattr(exc, "kind", type(exc).__name__),
+                    retries=self._policy.max_retries,
+                    penalty_score=PENALTY_SCORE,
+                )
+                results.append(penalty_evaluation())
+        return results
+
+    # ------------------------------------------------------------------
+    # parallel path: shard dispatch with crash recovery
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
             self._pool = ProcessPoolExecutor(
                 max_workers=self.workers,
                 initializer=_init_worker,
                 initargs=(self._payload,),
             )
-        results: List[FitnessEvaluation] = []
-        for shard_results in self._pool.map(
-            _evaluate_shard_in_worker, shard(programs, self.workers)
-        ):
-            results.extend(shard_results)
-        return results
+        return self._pool
+
+    def _teardown_pool(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def _record_crash(self, shard_index: int, exc: BaseException) -> None:
+        self.pool_crashes += 1
+        if isinstance(exc, WorkerCrash):
+            self._log.emit(
+                "fault_injected",
+                site=exc.site,
+                kind=exc.kind,
+                scope="worker-shard",
+                error=str(exc),
+            )
+        self._log.emit(
+            "worker_crash",
+            shard=shard_index,
+            crashes=self.pool_crashes,
+            max_pool_restarts=self._max_pool_restarts,
+            error=str(exc) or type(exc).__name__,
+        )
+
+    def _evaluate_parallel(
+        self, programs: Sequence[LoopProgram]
+    ) -> List[FitnessEvaluation]:
+        shards = shard(programs, self.workers)
+        results: List[Optional[List[FitnessEvaluation]]] = (
+            [None] * len(shards)
+        )
+        remaining = list(range(len(shards)))
+        retry_counts = [0] * len(shards)
+        timeout = self._policy.timeout_s if self._policy else None
+        while remaining:
+            if self.degraded:
+                for i in remaining:
+                    results[i] = self._evaluate_serial(shards[i])
+                remaining = []
+                break
+            pool = self._ensure_pool()
+            futures = [
+                (i, pool.submit(_evaluate_shard_in_worker, shards[i]))
+                for i in remaining
+            ]
+            next_remaining: List[int] = []
+            pool_broken = False
+            for i, future in futures:
+                if pool_broken:
+                    # The pool died while earlier futures were being
+                    # collected; everything still pending is lost.
+                    next_remaining.append(i)
+                    continue
+                try:
+                    results[i] = future.result(timeout=timeout)
+                except (WorkerCrash, BrokenProcessPool) as exc:
+                    self._record_crash(i, exc)
+                    next_remaining.append(i)
+                    if isinstance(exc, BrokenProcessPool):
+                        pool_broken = True
+                except FuturesTimeoutError:
+                    self._record_crash(
+                        i,
+                        StageTimeout(
+                            f"shard {i} exceeded {timeout}s dispatch "
+                            "budget",
+                            site="worker.shard",
+                        ),
+                    )
+                    next_remaining.append(i)
+                    # The hung task may still be holding its worker;
+                    # recycle the whole pool.
+                    pool_broken = True
+                except RETRYABLE_FAULTS as exc:
+                    # A transient fault survived the worker's local
+                    # retries (or no policy is attached).
+                    if self._policy is None:
+                        raise
+                    retry_counts[i] += 1
+                    if retry_counts[i] <= self._policy.max_retries:
+                        self._log.emit(
+                            "retry_attempt",
+                            scope="shard",
+                            attempt=retry_counts[i],
+                            max_retries=self._policy.max_retries,
+                            site=getattr(exc, "site", None),
+                            kind=getattr(exc, "kind", None),
+                            delay_s=0.0,
+                        )
+                        next_remaining.append(i)
+                    else:
+                        results[i] = self._salvage_items(shards[i])
+            if pool_broken:
+                self._teardown_pool()
+            if (
+                next_remaining
+                and self.pool_crashes > self._max_pool_restarts
+            ):
+                self.degraded = True
+                self._teardown_pool()
+                self._log.emit(
+                    "degraded_to_serial",
+                    crashes=self.pool_crashes,
+                    max_pool_restarts=self._max_pool_restarts,
+                    pending_shards=len(next_remaining),
+                )
+            remaining = next_remaining
+        flattened: List[FitnessEvaluation] = []
+        for shard_results in results:
+            flattened.extend(shard_results)
+        return flattened
 
     def close(self) -> None:
         """Shut the worker pool down (idempotent)."""

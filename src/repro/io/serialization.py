@@ -8,12 +8,15 @@ history), so the on-disk formats stay versioned in one place.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
+import warnings
 from pathlib import Path
 from typing import Dict, Optional, Tuple, Union
 
 from repro.cpu.arm import ARM_ISA
+from repro.faults.errors import CorruptArtifact
 from repro.cpu.isa import Instruction, InstructionSet, RegisterFile
 from repro.cpu.program import LoopProgram
 from repro.cpu.x86 import X86_ISA
@@ -377,27 +380,191 @@ def checkpoint_from_dict(data: dict):
         raise SerializationError(f"malformed checkpoint: {exc}") from exc
 
 
-def save_checkpoint(checkpoint, path: Union[str, Path]) -> Path:
-    """Atomically write a GA checkpoint to ``path``.
+#: How many rotated generations a checkpoint keeps: ``c.json`` is the
+#: newest, ``c.json.1`` the previous save, ``c.json.2`` the one before.
+CHECKPOINT_ROTATIONS = 2
 
-    The file is staged next to the target and moved into place with
+#: Hash algorithm recorded in the checksum footer.
+CHECKSUM_ALGO = "sha256"
+
+
+def checkpoint_payload(checkpoint) -> bytes:
+    """The canonical (compact, single-line) checkpoint payload bytes."""
+    return json.dumps(checkpoint_to_dict(checkpoint)).encode("utf-8")
+
+
+def checksum_footer(payload: bytes) -> str:
+    """The integrity footer line for a checkpoint ``payload``."""
+    return json.dumps(
+        {
+            "kind": "checksum",
+            "algo": CHECKSUM_ALGO,
+            "digest": hashlib.sha256(payload).hexdigest(),
+            "payload_bytes": len(payload),
+        }
+    )
+
+
+def rotated_paths(path: Union[str, Path]) -> list:
+    """Candidate checkpoint files, newest first: path, .1, .2."""
+    path = Path(path)
+    return [path] + [
+        path.with_name(f"{path.name}.{i}")
+        for i in range(1, CHECKPOINT_ROTATIONS + 1)
+    ]
+
+
+def _rotate(path: Path) -> None:
+    """Shift existing checkpoints one slot down before a new save."""
+    candidates = rotated_paths(path)
+    for older, newer in zip(
+        reversed(candidates), reversed(candidates[:-1])
+    ):
+        if newer.exists():
+            os.replace(newer, older)
+
+
+def save_checkpoint(
+    checkpoint,
+    path: Union[str, Path],
+    rotate: bool = True,
+    injector=None,
+) -> Path:
+    """Atomically write a checksummed GA checkpoint to ``path``.
+
+    The on-disk format is two lines: the compact JSON payload and a
+    checksum footer (algorithm, digest, payload byte count), which is
+    how :func:`load_checkpoint` detects truncation and bit-rot.  The
+    file is staged next to the target and moved into place with
     :func:`os.replace`, so a run killed mid-write leaves either the
-    previous checkpoint or the new one -- never a torn file.
+    previous checkpoint or the new one -- never a torn file.  With
+    ``rotate`` (the default) the previous saves are kept as ``.1`` /
+    ``.2`` siblings, the recovery pool for a corrupted primary.
+
+    ``injector`` arms the ``checkpoint.save`` fault site: an injected
+    :class:`~repro.faults.CorruptArtifact` simulates a *silent* torn
+    write (truncated bytes land at ``path`` and the save reports
+    success -- the scenario checksum verification exists for); any
+    other injected fault propagates before the disk is touched.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
+    payload = checkpoint_payload(checkpoint)
+    content = payload + b"\n" + checksum_footer(payload).encode("utf-8")
+    if injector is not None:
+        try:
+            injector.visit("checkpoint.save")
+        except CorruptArtifact:
+            content = content[: max(1, len(payload) // 2)]
+    if rotate:
+        _rotate(path)
     staging = path.with_name(path.name + ".tmp")
-    staging.write_text(
-        json.dumps(checkpoint_to_dict(checkpoint)), encoding="utf-8"
-    )
+    staging.write_bytes(content)
     os.replace(staging, path)
     return path
 
 
-def load_checkpoint(path: Union[str, Path]):
-    """Read a GA checkpoint back from ``path``."""
+def _read_verified_checkpoint(path: Path):
+    """Read one checkpoint file, verifying its checksum footer.
+
+    Raises :class:`CorruptArtifact` on truncation or digest mismatch
+    and :class:`SerializationError` on malformed content.  A legacy
+    file without a footer still loads, with a :class:`UserWarning`.
+    """
+    raw = path.read_bytes()
+    head, sep, tail = raw.partition(b"\n")
+    footer = None
+    if sep:
+        try:
+            candidate = json.loads(tail.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            candidate = None
+        if isinstance(candidate, dict) and (
+            candidate.get("kind") == "checksum"
+        ):
+            footer = candidate
+    if footer is not None:
+        payload = head
+        if footer.get("algo") != CHECKSUM_ALGO:
+            raise SerializationError(
+                f"unsupported checksum algo {footer.get('algo')!r}"
+            )
+        if len(payload) != footer.get("payload_bytes"):
+            raise CorruptArtifact(
+                f"checkpoint {path} truncated: expected "
+                f"{footer.get('payload_bytes')} payload bytes, found "
+                f"{len(payload)}",
+                site="checkpoint.load",
+            )
+        digest = hashlib.sha256(payload).hexdigest()
+        if digest != footer.get("digest"):
+            raise CorruptArtifact(
+                f"checkpoint {path} failed checksum verification",
+                site="checkpoint.load",
+            )
+    else:
+        # Pre-checksum format: the whole file is the payload.
+        payload = raw
     try:
-        data = json.loads(Path(path).read_text(encoding="utf-8"))
-    except json.JSONDecodeError as exc:
-        raise SerializationError(f"invalid JSON: {exc}") from exc
+        data = json.loads(payload.decode("utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise CorruptArtifact(
+            f"checkpoint {path} is unreadable: {exc}",
+            site="checkpoint.load",
+        ) from exc
+    if footer is None:
+        # Only a *parseable* footer-less file is a legacy checkpoint;
+        # torn new-format files fail the JSON parse above instead.
+        warnings.warn(
+            f"checkpoint {path} has no checksum footer (legacy "
+            "format); integrity cannot be verified",
+            UserWarning,
+            stacklevel=3,
+        )
     return checkpoint_from_dict(data)
+
+
+def load_checkpoint(
+    path: Union[str, Path], event_log=None, injector=None
+):
+    """Read a GA checkpoint, falling back to rotated copies.
+
+    Verifies the checksum footer of ``path``; if the file is missing,
+    truncated or corrupted, the rotated siblings (``.1`` then ``.2``)
+    are tried newest-first, and a successful fallback emits a
+    ``checkpoint_recovered`` event on ``event_log``.  Raises
+    :class:`~repro.faults.CorruptArtifact` when no candidate survives
+    verification (and :class:`FileNotFoundError` when none exists at
+    all).  ``injector`` arms the ``checkpoint.load`` fault site once
+    per candidate.
+    """
+    path = Path(path)
+    candidates = [p for p in rotated_paths(path) if p.exists()]
+    if not candidates:
+        raise FileNotFoundError(f"no checkpoint found at {path}")
+    errors = []
+    for candidate in candidates:
+        try:
+            if injector is not None:
+                injector.visit("checkpoint.load")
+            checkpoint = _read_verified_checkpoint(candidate)
+        except (CorruptArtifact, SerializationError, OSError) as exc:
+            errors.append((candidate, exc))
+            continue
+        if errors and event_log is not None:
+            event_log.emit(
+                "checkpoint_recovered",
+                path=str(path),
+                recovered_from=str(candidate),
+                rejected=[
+                    {"path": str(p), "error": str(e)} for p, e in errors
+                ],
+                generation=checkpoint.generation,
+            )
+        return checkpoint
+    detail = "; ".join(f"{p}: {e}" for p, e in errors)
+    raise CorruptArtifact(
+        f"no valid checkpoint among {len(candidates)} candidate(s) "
+        f"for {path}: {detail}",
+        site="checkpoint.load",
+    )

@@ -15,6 +15,17 @@ Every record carries::
 
 Payload values are sanitized to plain JSON types (numpy scalars and
 arrays included), so emitters can pass measurement results directly.
+
+The fault/resilience layer (:mod:`repro.faults`) adds its own event
+vocabulary on top of the harness milestones: ``fault_injected`` (a
+:class:`~repro.faults.FaultError` surfaced at a site),
+``retry_attempt`` (a retryable fault is about to be retried),
+``worker_crash`` (a pool worker died and its shard was re-dispatched),
+``degraded_to_serial`` (the parallel evaluator gave up on its pool),
+``genome_quarantined`` (an individual kept failing and was pinned to
+the penalty fitness) and ``checkpoint_recovered`` (a corrupt
+checkpoint was skipped in favor of an older rotation).  See
+``docs/testing.md`` for the full recovery-path map.
 """
 
 from __future__ import annotations

@@ -3,6 +3,12 @@
 Board models are session-scoped for speed (their PDN solver caches are
 expensive to warm); the function-scoped cluster fixtures reset mutable
 state (voltage, clock, power gating) so tests stay independent.
+
+Also home to the test-suite plumbing: the ``--update-golden`` flag
+(regenerates ``tests/golden/`` data instead of comparing against it)
+and the failing-seed report (tests exposing a ``seed``/``plan_seed``
+fixture or hypothesis example print it on failure, so a red run is
+reproducible from the log alone).
 """
 
 import numpy as np
@@ -10,6 +16,45 @@ import pytest
 
 from repro import EMCharacterizer, make_amd_desktop, make_juno_board
 from repro.instruments.spectrum_analyzer import SpectrumAnalyzer
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="regenerate tests/golden/ data files instead of "
+        "comparing against them",
+    )
+
+
+@pytest.fixture
+def update_golden(request):
+    """True when the run should rewrite golden data files."""
+    return request.config.getoption("--update-golden")
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    """On failure, print any seed-like fixture values of the test.
+
+    Seeded tests (chaos plans, property tests, RNG fixtures) become
+    reproducible from the failure log: the report gains a
+    ``seeds: name=value ...`` line listing every int-valued argument
+    whose name mentions ``seed``.
+    """
+    outcome = yield
+    report = outcome.get_result()
+    if report.when != "call" or not report.failed:
+        return
+    seeds = {
+        name: value
+        for name, value in getattr(item, "funcargs", {}).items()
+        if "seed" in name and isinstance(value, (int, np.integer))
+    }
+    if seeds:
+        rendered = " ".join(f"{k}={v}" for k, v in sorted(seeds.items()))
+        report.sections.append(("seeds", f"seeds: {rendered}"))
 
 
 @pytest.fixture(scope="session")

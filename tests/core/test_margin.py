@@ -74,6 +74,7 @@ class TestFitting:
 
 
 class TestEndToEndPrediction:
+    @pytest.mark.slow
     def test_predicts_holdout_workload_vmin(self, a72):
         """Calibrate on a few workloads, predict an unseen one within
         a couple of undervolting steps."""

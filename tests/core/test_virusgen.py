@@ -66,6 +66,7 @@ class TestVoltageFeedbackBaselines:
         with pytest.raises(ValueError, match="Kelvin"):
             gen.generate_oscilloscope_virus(DifferentialProbe())
 
+    @pytest.mark.slow
     def test_ocdso_virus_on_a72(self, juno_board):
         juno_board.a72.reset()
         gen = VirusGenerator(juno_board.a72, config=SMALL)
@@ -73,6 +74,7 @@ class TestVoltageFeedbackBaselines:
         assert summary.metric == "oc-dso-droop"
         assert summary.max_droop_v > 0.02
 
+    @pytest.mark.slow
     def test_kelvin_virus_on_amd(self, amd_desktop):
         amd_desktop.cpu.reset()
         gen = VirusGenerator(

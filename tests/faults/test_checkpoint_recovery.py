@@ -1,0 +1,217 @@
+"""Chaos tests for checkpoint corruption detection and recovery.
+
+The checksummed two-line format plus rotated siblings give the run
+harness a recovery pool: a corrupted or truncated primary must be
+detected (never silently loaded), the newest valid rotation must take
+over (with a ``checkpoint_recovered`` event), and resuming from the
+recovered state must continue the campaign bit-identically from that
+earlier generation.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.faults import (
+    CorruptArtifact,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+)
+from repro.ga.engine import GAEngine
+from repro.io.serialization import (
+    load_checkpoint,
+    rotated_paths,
+    save_checkpoint,
+)
+from repro.obs.events import EventLog, MemorySink
+
+from tests.ga.test_checkpoint import (
+    CONFIG,
+    GenomeHashFitness,
+    _assert_identical,
+    isa,  # noqa: F401  (fixture re-export)
+)
+
+
+def _campaign_with_checkpoints(isa, path):
+    """Run a 6-gen campaign checkpointing every generation; returns the
+    full-run result (c.json holds gen 5, c.json.1 gen 4, ...)."""
+    return GAEngine(GenomeHashFitness(), config=CONFIG).run(
+        isa, checkpoint_path=path, checkpoint_every=1
+    )
+
+
+def _flip_byte(path, offset=100):
+    raw = bytearray(path.read_bytes())
+    raw[offset] ^= 0xFF
+    path.write_bytes(bytes(raw))
+
+
+class TestDetection:
+    def test_flipped_byte_is_detected(self, isa, tmp_path):
+        ckpt = tmp_path / "c.json"
+        _campaign_with_checkpoints(isa, ckpt)
+        for sibling in rotated_paths(ckpt):
+            _flip_byte(sibling)
+        with pytest.raises(CorruptArtifact, match="checksum"):
+            load_checkpoint(ckpt)
+
+    def test_truncation_is_detected(self, isa, tmp_path):
+        ckpt = tmp_path / "c.json"
+        _campaign_with_checkpoints(isa, ckpt)
+        for sibling in rotated_paths(ckpt):
+            raw = sibling.read_bytes()
+            sibling.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(CorruptArtifact):
+            load_checkpoint(ckpt)
+
+    def test_missing_checkpoint_raises_file_not_found(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_checkpoint(tmp_path / "nope.json")
+
+
+class TestRecovery:
+    def test_corrupt_primary_recovers_from_rotation(self, isa, tmp_path):
+        ckpt = tmp_path / "c.json"
+        _campaign_with_checkpoints(isa, ckpt)
+        healthy = load_checkpoint(ckpt)
+        previous = load_checkpoint(tmp_path / "c.json.1")
+        _flip_byte(ckpt)
+        sink = MemorySink()
+        recovered = load_checkpoint(ckpt, event_log=EventLog([sink]))
+        assert recovered.generation == previous.generation
+        assert recovered.generation == healthy.generation - 1
+        (event,) = sink.events("checkpoint_recovered")
+        assert event["recovered_from"].endswith("c.json.1")
+        assert event["rejected"][0]["path"].endswith("c.json")
+        assert event["generation"] == recovered.generation
+
+    def test_double_corruption_falls_back_twice(self, isa, tmp_path):
+        ckpt = tmp_path / "c.json"
+        _campaign_with_checkpoints(isa, ckpt)
+        oldest = load_checkpoint(tmp_path / "c.json.2")
+        _flip_byte(ckpt)
+        _flip_byte(tmp_path / "c.json.1")
+        sink = MemorySink()
+        recovered = load_checkpoint(ckpt, event_log=EventLog([sink]))
+        assert recovered.generation == oldest.generation
+        (event,) = sink.events("checkpoint_recovered")
+        assert event["recovered_from"].endswith("c.json.2")
+        assert len(event["rejected"]) == 2
+
+    def test_resume_from_recovered_checkpoint_is_bit_identical(
+        self, isa, tmp_path
+    ):
+        ckpt = tmp_path / "c.json"
+        full = GAEngine(GenomeHashFitness(), config=CONFIG).run(isa)
+        GAEngine(
+            GenomeHashFitness(), config=replace(CONFIG, generations=4)
+        ).run(isa, checkpoint_path=ckpt, checkpoint_every=1)
+        _flip_byte(ckpt)  # the newest save is lost...
+        recovered = load_checkpoint(ckpt)  # ...recover the previous one
+        resumed = GAEngine(GenomeHashFitness(), config=CONFIG).run(
+            isa, resume=recovered
+        )
+        _assert_identical(resumed, full)
+
+
+class TestInjectedSaveCorruption:
+    def test_silent_torn_write_recovered_on_load(self, isa, tmp_path):
+        ckpt = tmp_path / "c.json"
+        # Corrupt the 3rd save (generations 1 and 2 land intact, then
+        # generation 3's write is torn mid-file without erroring).
+        injector = FaultInjector(
+            FaultPlan(
+                specs=(
+                    FaultSpec(
+                        site="checkpoint.save",
+                        kind="corrupt_artifact",
+                        at_visit=2,
+                    ),
+                )
+            )
+        )
+        GAEngine(
+            GenomeHashFitness(),
+            config=replace(CONFIG, generations=4),
+            fault_injector=injector,
+        ).run(isa, checkpoint_path=ckpt, checkpoint_every=1)
+        assert injector.fired_at("checkpoint.save")
+        sink = MemorySink()
+        recovered = load_checkpoint(ckpt, event_log=EventLog([sink]))
+        # The torn gen-3 file is rejected, gen 2 takes over.
+        assert recovered.generation == 2
+        assert sink.events("checkpoint_recovered")
+
+    def test_transient_save_fault_is_retried(self, isa, tmp_path):
+        ckpt = tmp_path / "c.json"
+        injector = FaultInjector(
+            FaultPlan(
+                specs=(
+                    FaultSpec(
+                        site="checkpoint.save",
+                        kind="transient",
+                        at_visit=0,
+                    ),
+                )
+            )
+        )
+        sink = MemorySink()
+        GAEngine(
+            GenomeHashFitness(),
+            config=replace(CONFIG, generations=3),
+            retry_policy=RetryPolicy(max_retries=2, base_delay_s=0.0),
+            fault_injector=injector,
+        ).run(
+            isa,
+            checkpoint_path=ckpt,
+            checkpoint_every=1,
+            event_log=EventLog([sink]),
+        )
+        retries = sink.events("retry_attempt")
+        assert any(r["scope"] == "checkpoint-save" for r in retries)
+        # The retried write is intact and loads without fallback.
+        recovery_sink = MemorySink()
+        load_checkpoint(ckpt, event_log=EventLog([recovery_sink]))
+        assert not recovery_sink.events("checkpoint_recovered")
+
+
+class TestLegacyFormat:
+    def test_legacy_unchecksummed_checkpoint_warns_and_loads(
+        self, isa, tmp_path
+    ):
+        import json
+
+        from repro.io.serialization import checkpoint_to_dict
+
+        ckpt = tmp_path / "c.json"
+        _campaign_with_checkpoints(isa, ckpt)
+        checkpoint = load_checkpoint(ckpt)
+        legacy = tmp_path / "legacy.json"
+        legacy.write_text(
+            json.dumps(checkpoint_to_dict(checkpoint)), encoding="utf-8"
+        )
+        with pytest.warns(UserWarning, match="no checksum footer"):
+            loaded = load_checkpoint(legacy)
+        assert loaded.generation == checkpoint.generation
+
+    def test_resave_of_legacy_gains_footer(self, isa, tmp_path):
+        import json
+
+        from repro.io.serialization import checkpoint_to_dict
+
+        ckpt = tmp_path / "c.json"
+        _campaign_with_checkpoints(isa, ckpt)
+        checkpoint = load_checkpoint(ckpt)
+        legacy = tmp_path / "legacy.json"
+        legacy.write_text(
+            json.dumps(checkpoint_to_dict(checkpoint)), encoding="utf-8"
+        )
+        with pytest.warns(UserWarning):
+            loaded = load_checkpoint(legacy)
+        save_checkpoint(loaded, legacy)
+        reloaded = load_checkpoint(legacy)  # no warning now
+        assert reloaded.generation == checkpoint.generation
+        assert len(legacy.read_bytes().splitlines()) == 2

@@ -1,0 +1,203 @@
+"""FaultPlan / FaultInjector scheduling semantics."""
+
+import pytest
+
+from repro.faults import (
+    FAULT_KINDS,
+    NULL_INJECTOR,
+    CorruptArtifact,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    StageTimeout,
+    TransientFault,
+    WorkerCrash,
+    load_fault_plan,
+)
+
+
+class TestFaultSpec:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec(site="chain.*", kind="gremlin", at_visit=0)
+
+    def test_rejects_unscheduled_spec(self):
+        with pytest.raises(ValueError, match="at_visit or"):
+            FaultSpec(site="chain.*")
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError, match="rate"):
+            FaultSpec(site="chain.*", rate=1.5)
+
+    @pytest.mark.parametrize("kind", sorted(FAULT_KINDS))
+    def test_every_kind_is_raisable(self, kind):
+        injector = FaultInjector(
+            FaultPlan(specs=(FaultSpec(site="s", kind=kind, at_visit=0),))
+        )
+        with pytest.raises(FAULT_KINDS[kind]):
+            injector.visit("s")
+
+
+class TestScheduling:
+    def test_fires_exactly_at_visit_window(self):
+        plan = FaultPlan(
+            specs=(FaultSpec(site="chain.pdn", at_visit=1, times=2),)
+        )
+        injector = FaultInjector(plan)
+        injector.visit("chain.pdn")  # visit 0: silent
+        with pytest.raises(TransientFault):
+            injector.visit("chain.pdn")  # visit 1
+        with pytest.raises(TransientFault):
+            injector.visit("chain.pdn")  # visit 2
+        injector.visit("chain.pdn")  # visit 3: budget spent
+        assert len(injector.fired) == 2
+
+    def test_site_patterns_use_fnmatch(self):
+        plan = FaultPlan(
+            specs=(FaultSpec(site="chain.*", at_visit=0, times=10),)
+        )
+        injector = FaultInjector(plan)
+        with pytest.raises(TransientFault):
+            injector.visit("chain.execute")
+        injector_counts_other_sites = FaultInjector(plan)
+        injector_counts_other_sites.visit("worker.shard")  # no match
+        with pytest.raises(TransientFault):
+            injector_counts_other_sites.visit("chain.receive")
+
+    def test_fault_carries_site(self):
+        injector = FaultInjector(
+            FaultPlan(
+                specs=(
+                    FaultSpec(
+                        site="worker.*", kind="worker_crash", at_visit=0
+                    ),
+                )
+            )
+        )
+        with pytest.raises(WorkerCrash) as excinfo:
+            injector.visit("worker.shard")
+        assert excinfo.value.site == "worker.shard"
+        assert excinfo.value.kind == "worker_crash"
+
+    def test_rate_mode_is_deterministic_per_seed(self):
+        plan = FaultPlan(
+            specs=(FaultSpec(site="s", rate=0.5, times=1000),), seed=7
+        )
+
+        def firing_pattern():
+            injector = FaultInjector(plan)
+            pattern = []
+            for _ in range(50):
+                try:
+                    injector.visit("s")
+                    pattern.append(0)
+                except TransientFault:
+                    pattern.append(1)
+            return pattern
+
+        first, second = firing_pattern(), firing_pattern()
+        assert first == second
+        assert sum(first) > 0
+
+    def test_fired_at_filters_by_pattern(self):
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(site="chain.pdn", at_visit=0),
+                FaultSpec(site="checkpoint.save", at_visit=0,
+                          kind="corrupt_artifact"),
+            )
+        )
+        injector = FaultInjector(plan)
+        with pytest.raises(TransientFault):
+            injector.visit("chain.pdn")
+        with pytest.raises(CorruptArtifact):
+            injector.visit("checkpoint.save")
+        assert len(injector.fired_at("chain.*")) == 1
+        assert len(injector.fired_at("checkpoint.*")) == 1
+
+
+class TestDisarmed:
+    def test_null_injector_is_disarmed(self):
+        assert not NULL_INJECTOR.armed
+        for _ in range(100):
+            NULL_INJECTOR.visit("chain.execute")
+        assert NULL_INJECTOR.fired == []
+
+    def test_exhausted_injector_goes_quiet(self):
+        injector = FaultInjector(
+            FaultPlan(specs=(FaultSpec(site="s", at_visit=0),))
+        )
+        with pytest.raises(TransientFault):
+            injector.visit("s")
+        for _ in range(10):
+            injector.visit("s")
+        assert len(injector.fired) == 1
+
+
+class TestRoundTrip:
+    PLAN = FaultPlan(
+        specs=(
+            FaultSpec(site="chain.*", at_visit=3, times=2),
+            FaultSpec(
+                site="worker.shard", kind="worker_crash", rate=0.1,
+                times=5,
+            ),
+            FaultSpec(
+                site="checkpoint.load", kind="stage_timeout", at_visit=0
+            ),
+        ),
+        seed=11,
+    )
+
+    def test_json_round_trip(self):
+        assert FaultPlan.from_json(self.PLAN.to_json()) == self.PLAN
+
+    def test_load_fault_plan_from_file(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(self.PLAN.to_json(), encoding="utf-8")
+        assert load_fault_plan(path) == self.PLAN
+
+    def test_load_rejects_non_plan_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"kind": "ga-checkpoint"}', encoding="utf-8")
+        with pytest.raises(ValueError, match="not a fault plan"):
+            load_fault_plan(path)
+
+    def test_load_rejects_invalid_json(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{nope", encoding="utf-8")
+        with pytest.raises(ValueError, match="invalid fault-plan JSON"):
+            load_fault_plan(path)
+
+    def test_pickled_copy_preserves_counters(self):
+        import pickle
+
+        injector = FaultInjector(
+            FaultPlan(specs=(FaultSpec(site="s", at_visit=0),))
+        )
+        with pytest.raises(TransientFault):
+            injector.visit("s")
+        clone = pickle.loads(pickle.dumps(injector))
+        # Counters are per-copy state: a clone taken after the budget
+        # was spent stays quiet, while one pickled beforehand (as the
+        # worker payload is) replays the schedule from scratch.
+        assert clone.fired == injector.fired
+        clone.visit("s")  # budget already spent in the parent
+        fresh = pickle.loads(
+            pickle.dumps(
+                FaultInjector(
+                    FaultPlan(specs=(FaultSpec(site="s", at_visit=0),))
+                )
+            )
+        )
+        with pytest.raises(TransientFault):
+            fresh.visit("s")
+
+
+class TestStageTimeoutKind:
+    def test_stage_timeout_is_retryable(self):
+        from repro.faults import RETRYABLE_FAULTS
+
+        assert StageTimeout in RETRYABLE_FAULTS
+        assert WorkerCrash not in RETRYABLE_FAULTS
+        assert CorruptArtifact not in RETRYABLE_FAULTS

@@ -1,0 +1,306 @@
+"""Chaos tests for the parallel evaluator and GA engine.
+
+Worker crashes (raised, injected, or hard process death), dispatch
+timeouts and persistently failing genomes must never kill a campaign:
+shards are re-dispatched, the evaluator degrades to serial after
+repeated crashes, and poisoned genomes are quarantined with a penalty
+score -- all without perturbing the scores of the healthy population.
+"""
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from repro.cpu.arm import ARM_ISA
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+    TransientFault,
+    WorkerCrash,
+)
+from repro.ga.engine import GAConfig, GAEngine
+from repro.ga.fitness import FitnessEvaluation
+from repro.ga.parallel import (
+    PENALTY_SCORE,
+    ParallelEvaluator,
+    penalty_evaluation,
+)
+from repro.obs.events import EventLog, MemorySink
+
+from tests.ga.test_parallel import PureFitness
+
+POLICY = RetryPolicy(max_retries=2, base_delay_s=0.0)
+
+
+def _evaluation(score):
+    return FitnessEvaluation(
+        score=score,
+        dominant_frequency_hz=0.0,
+        max_droop_v=0.0,
+        peak_to_peak_v=0.0,
+        ipc=1.0,
+        loop_frequency_hz=1.0,
+    )
+
+
+class PoisonedFitness:
+    """Pure fitness that always faults on programs named ``poison*``."""
+
+    def __call__(self, program):
+        if program.name.startswith("poison"):
+            raise TransientFault(
+                f"instrument rejected {program.name}",
+                site="chain.receive",
+            )
+        return _evaluation(float(len(program.body)))
+
+
+class DyingWorkerFitness:
+    """Hard-kills the hosting *worker* process; benign in the parent.
+
+    Exercises the ``BrokenProcessPool`` path: the executor loses the
+    worker entirely, so recovery requires tearing the pool down and
+    eventually degrading to serial (where this fitness is pure).
+    """
+
+    def __call__(self, program):
+        if multiprocessing.parent_process() is not None:
+            os._exit(1)
+        return _evaluation(float(len(program.body)))
+
+
+class SlowWorkerFitness:
+    """Hangs in worker processes; instant in the parent.
+
+    Exercises the dispatch-timeout path: ``RetryPolicy.timeout_s``
+    converts a hung shard into a crash event.
+    """
+
+    def __call__(self, program):
+        if multiprocessing.parent_process() is not None:
+            time.sleep(1.5)
+        return _evaluation(float(len(program.body)))
+
+
+def _programs(count=8, length=10, seed=5, name="ind"):
+    import numpy as np
+
+    from repro.cpu.program import random_program
+
+    rng = np.random.default_rng(seed)
+    return [
+        random_program(ARM_ISA, length, rng, name=f"{name}{i}")
+        for i in range(count)
+    ]
+
+
+def _crashy_injector(times=1):
+    """Every worker process crashes its first ``times`` shard visits."""
+    return FaultInjector(
+        FaultPlan(
+            specs=(
+                FaultSpec(
+                    site="worker.shard",
+                    kind="worker_crash",
+                    at_visit=0,
+                    times=times,
+                ),
+            )
+        )
+    )
+
+
+class TestWorkerCrashRecovery:
+    def test_injected_crashes_are_redispatched(self):
+        programs = _programs()
+        fitness = PureFitness()
+        expected = [fitness(p).score for p in programs]
+        sink = MemorySink()
+        with ParallelEvaluator(
+            PureFitness(),
+            workers=2,
+            retry_policy=POLICY,
+            fault_injector=_crashy_injector(),
+            event_log=EventLog([sink]),
+        ) as evaluator:
+            got = [e.score for e in evaluator.evaluate(programs)]
+        assert got == expected
+        assert evaluator.pool_crashes >= 1
+        assert not evaluator.degraded
+        crashes = sink.events("worker_crash")
+        assert crashes and crashes[0]["max_pool_restarts"] == 3
+        injected = sink.events("fault_injected")
+        assert injected and injected[0]["kind"] == "worker_crash"
+
+    def test_ga_run_with_crashes_matches_fault_free_run(self):
+        config = GAConfig(
+            population_size=12, generations=5, loop_length=20,
+            seed=4, workers=2,
+        )
+        clean = GAEngine(PureFitness(), config).run(ARM_ISA)
+        chaotic = GAEngine(
+            PureFitness(),
+            config,
+            retry_policy=POLICY,
+            fault_injector=_crashy_injector(),
+        ).run(ARM_ISA)
+        assert clean.evaluations == chaotic.evaluations
+        for c, f in zip(clean.history, chaotic.history):
+            assert c.best.score == f.best.score
+            assert c.mean_score == f.mean_score
+            assert c.best_program.genome() == f.best_program.genome()
+
+    def test_persistent_crashes_degrade_to_serial(self):
+        programs = _programs()
+        fitness = PureFitness()
+        expected = [fitness(p).score for p in programs]
+        sink = MemorySink()
+        with ParallelEvaluator(
+            PureFitness(),
+            workers=2,
+            retry_policy=POLICY,
+            fault_injector=_crashy_injector(times=50),
+            event_log=EventLog([sink]),
+            max_pool_restarts=2,
+        ) as evaluator:
+            got = [e.score for e in evaluator.evaluate(programs)]
+        assert got == expected
+        assert evaluator.degraded
+        assert not evaluator.parallel
+        (degraded,) = sink.events("degraded_to_serial")
+        assert degraded["crashes"] > 2
+
+    def test_worker_crash_without_policy_is_still_redispatched(self):
+        # WorkerCrash handling does not require a RetryPolicy: crash
+        # recovery is about the pool, not the retry budget.
+        programs = _programs(count=4)
+        fitness = PureFitness()
+        expected = [fitness(p).score for p in programs]
+        with ParallelEvaluator(
+            PureFitness(),
+            workers=2,
+            fault_injector=_crashy_injector(),
+        ) as evaluator:
+            assert [
+                e.score for e in evaluator.evaluate(programs)
+            ] == expected
+
+
+@pytest.mark.slow
+class TestHardFailures:
+    def test_dead_worker_processes_degrade_to_serial(self):
+        programs = _programs(count=6)
+        sink = MemorySink()
+        with ParallelEvaluator(
+            DyingWorkerFitness(),
+            workers=2,
+            retry_policy=POLICY,
+            event_log=EventLog([sink]),
+            max_pool_restarts=1,
+        ) as evaluator:
+            got = [e.score for e in evaluator.evaluate(programs)]
+        assert got == [float(len(p.body)) for p in programs]
+        assert evaluator.degraded
+        assert sink.events("degraded_to_serial")
+
+    def test_hung_workers_time_out_and_degrade(self):
+        programs = _programs(count=4)
+        policy = RetryPolicy(
+            max_retries=2, base_delay_s=0.0, timeout_s=0.3
+        )
+        sink = MemorySink()
+        with ParallelEvaluator(
+            SlowWorkerFitness(),
+            workers=2,
+            retry_policy=policy,
+            event_log=EventLog([sink]),
+            max_pool_restarts=1,
+        ) as evaluator:
+            got = [e.score for e in evaluator.evaluate(programs)]
+        assert got == [float(len(p.body)) for p in programs]
+        assert evaluator.degraded
+        crashes = sink.events("worker_crash")
+        assert any("dispatch budget" in c["error"] for c in crashes)
+
+
+class TestQuarantine:
+    def test_poisoned_genome_gets_penalty_score(self):
+        healthy = _programs(count=4)
+        poisoned = _programs(count=1, seed=9, name="poison")
+        programs = healthy[:2] + poisoned + healthy[2:]
+        sink = MemorySink()
+        evaluator = ParallelEvaluator(
+            PoisonedFitness(),
+            workers=1,
+            retry_policy=POLICY,
+            event_log=EventLog([sink]),
+        )
+        results = evaluator.evaluate(programs)
+        scores = [e.score for e in results]
+        assert scores[2] == PENALTY_SCORE
+        assert all(s > 0 for s in scores[:2] + scores[3:])
+        assert poisoned[0].genome() in evaluator.quarantined
+        (event,) = sink.events("genome_quarantined")
+        assert event["program"] == "poison0"
+        assert event["site"] == "chain.receive"
+        assert event["penalty_score"] == PENALTY_SCORE
+
+    def test_quarantine_spares_healthy_results(self):
+        # The healthy programs score exactly what a fault-free
+        # evaluator gives them, despite sharing a batch with poison.
+        healthy = _programs(count=5)
+        poisoned = _programs(count=1, seed=9, name="poison")
+        clean = ParallelEvaluator(PoisonedFitness(), workers=1)
+        expected = [e.score for e in clean.evaluate(healthy)]
+        chaotic = ParallelEvaluator(
+            PoisonedFitness(), workers=1, retry_policy=POLICY
+        )
+        got = [
+            e.score
+            for e in chaotic.evaluate(healthy[:3] + poisoned + healthy[3:])
+        ]
+        assert got[:3] + got[4:] == expected
+
+    def test_ga_survives_poisoned_population(self):
+        sink = MemorySink()
+        config = GAConfig(
+            population_size=8, generations=3, loop_length=10, seed=1
+        )
+        result = GAEngine(
+            PoisonedRandomNameFitness(),
+            config,
+            retry_policy=POLICY,
+        ).run(ARM_ISA, event_log=EventLog([sink]))
+        assert len(result.history) == 3
+        assert sink.events("genome_quarantined")
+        gen_ends = sink.events("generation_end")
+        assert any(g.get("quarantined") for g in gen_ends)
+
+    def test_penalty_evaluation_shape(self):
+        ev = penalty_evaluation()
+        assert ev.score == PENALTY_SCORE
+        assert float(ev) == PENALTY_SCORE
+
+
+class PoisonedRandomNameFitness:
+    """Faults on the seed population's ``ind3`` individual."""
+
+    def __call__(self, program):
+        if program.name == "ind3":
+            raise TransientFault("bad genome", site="chain.receive")
+        return _evaluation(float(len(program.body)))
+
+
+class TestCrashExceptionTransport:
+    def test_worker_crash_survives_pickling(self):
+        import pickle
+
+        crash = WorkerCrash("died mid-shard", site="worker.shard")
+        clone = pickle.loads(pickle.dumps(crash))
+        assert isinstance(clone, WorkerCrash)
+        assert clone.site == "worker.shard"
+        assert str(clone) == "died mid-shard"

@@ -1,0 +1,141 @@
+"""RetryPolicy backoff math and call_with_retry semantics."""
+
+import random
+
+import pytest
+
+from repro.faults import (
+    CorruptArtifact,
+    RetryPolicy,
+    TransientFault,
+    call_with_retry,
+)
+from repro.obs.events import EventLog, MemorySink
+
+
+class TestRetryPolicy:
+    def test_rejects_negative_budget(self):
+        with pytest.raises(ValueError, match="max_retries"):
+            RetryPolicy(max_retries=-1)
+
+    def test_rejects_bad_jitter(self):
+        with pytest.raises(ValueError, match="jitter"):
+            RetryPolicy(jitter=2.0)
+
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(
+            base_delay_s=0.1, backoff=2.0, max_delay_s=0.5, jitter=0.0
+        )
+        rng = random.Random(0)
+        delays = [policy.delay_s(k, rng) for k in range(5)]
+        assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_jitter_shrinks_within_bounds(self):
+        policy = RetryPolicy(
+            base_delay_s=0.2, backoff=1.0, max_delay_s=1.0, jitter=0.5
+        )
+        rng = random.Random(3)
+        for k in range(20):
+            delay = policy.delay_s(k, rng)
+            assert 0.1 <= delay <= 0.2
+
+    def test_jitter_stream_is_deterministic(self):
+        policy = RetryPolicy(base_delay_s=0.1, jitter=0.25, seed=5)
+        a = [policy.delay_s(k, policy.jitter_rng()) for k in range(3)]
+        b = [policy.delay_s(k, policy.jitter_rng()) for k in range(3)]
+        assert a == b
+
+
+class Flaky:
+    """Fails the first ``failures`` calls, then succeeds."""
+
+    def __init__(self, failures, exc=TransientFault):
+        self.failures = failures
+        self.exc = exc
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise self.exc(f"boom {self.calls}", site="test.site")
+        return "ok"
+
+
+class TestCallWithRetry:
+    POLICY = RetryPolicy(max_retries=2, base_delay_s=0.0)
+
+    def test_retries_to_success(self):
+        flaky = Flaky(2)
+        assert call_with_retry(flaky, self.POLICY) == "ok"
+        assert flaky.calls == 3
+
+    def test_exhausted_budget_reraises(self):
+        flaky = Flaky(5)
+        with pytest.raises(TransientFault, match="boom 3"):
+            call_with_retry(flaky, self.POLICY)
+        assert flaky.calls == 3
+
+    def test_non_retryable_fault_propagates_immediately(self):
+        flaky = Flaky(1, exc=CorruptArtifact)
+        with pytest.raises(CorruptArtifact):
+            call_with_retry(flaky, self.POLICY)
+        assert flaky.calls == 1
+
+    def test_non_fault_exception_propagates(self):
+        def broken():
+            raise KeyError("not a fault")
+
+        with pytest.raises(KeyError):
+            call_with_retry(broken, self.POLICY)
+
+    def test_emits_fault_and_retry_events(self):
+        sink = MemorySink()
+        log = EventLog([sink])
+        call_with_retry(
+            Flaky(1), self.POLICY, event_log=log, scope="unit"
+        )
+        faults = sink.events("fault_injected")
+        retries = sink.events("retry_attempt")
+        assert len(faults) == 1
+        assert faults[0]["site"] == "test.site"
+        assert faults[0]["scope"] == "unit"
+        assert len(retries) == 1
+        assert retries[0]["attempt"] == 1
+        assert retries[0]["max_retries"] == 2
+
+    def test_state_restored_before_each_attempt_and_reraise(self):
+        state = {"counter": 0}
+        snapshots = []
+
+        def capture():
+            return dict(state)
+
+        def restore(saved):
+            snapshots.append(dict(state))
+            state.clear()
+            state.update(saved)
+
+        def consume_then_fail():
+            state["counter"] += 10
+            raise TransientFault("always", site="s")
+
+        with pytest.raises(TransientFault):
+            call_with_retry(
+                consume_then_fail,
+                self.POLICY,
+                capture_state=capture,
+                restore_state=restore,
+            )
+        # Restored after every failed attempt (2 retries + final), and
+        # the caller-visible state is exactly the pre-call state.
+        assert len(snapshots) == 3
+        assert state == {"counter": 0}
+
+    def test_sleep_called_with_policy_delays(self):
+        slept = []
+        policy = RetryPolicy(
+            max_retries=2, base_delay_s=0.1, backoff=2.0,
+            max_delay_s=1.0, jitter=0.0,
+        )
+        call_with_retry(Flaky(2), policy, sleep=slept.append)
+        assert slept == [0.1, 0.2]

@@ -154,12 +154,27 @@ class TestCheckpointFile:
         save_checkpoint(loaded, second)
         assert second.read_text() == ckpt.read_text()
 
-    def test_atomic_write_leaves_single_file(self, isa, tmp_path):
+    def test_atomic_write_leaves_no_staging_files(self, isa, tmp_path):
         ckpt = tmp_path / "c.json"
         GAEngine(GenomeHashFitness(), config=CONFIG).run(
             isa, checkpoint_path=ckpt, checkpoint_every=1
         )
-        assert sorted(p.name for p in tmp_path.iterdir()) == ["c.json"]
+        # The primary plus up to two rotated generations -- and never a
+        # leftover .tmp staging file.
+        names = sorted(p.name for p in tmp_path.iterdir())
+        assert names == ["c.json", "c.json.1", "c.json.2"]
+        assert not any(n.endswith(".tmp") for n in names)
+
+    def test_rotated_copies_are_older_generations(self, isa, tmp_path):
+        ckpt = tmp_path / "c.json"
+        GAEngine(GenomeHashFitness(), config=CONFIG).run(
+            isa, checkpoint_path=ckpt, checkpoint_every=1
+        )
+        generations = [
+            load_checkpoint(p).generation
+            for p in (ckpt, tmp_path / "c.json.1", tmp_path / "c.json.2")
+        ]
+        assert generations == sorted(generations, reverse=True)
 
     def test_resume_rejects_mismatched_config(self, isa, tmp_path):
         ckpt = tmp_path / "c.json"

@@ -124,6 +124,7 @@ class TestSection5Validation:
 class TestSection6A53:
     """EM methodology works without any voltage visibility."""
 
+    @pytest.mark.slow
     def test_a53_virus_generation_without_visibility(self, juno_board):
         a53 = juno_board.a53
         a53.reset()
@@ -179,6 +180,7 @@ class TestSection7AMD:
         result = sweep.run(RunContext(cluster=cpu), clocks_hz=clocks)
         assert result.resonance_hz() == pytest.approx(78e6, abs=6e6)
 
+    @pytest.mark.slow
     def test_amd_em_ga_converges_near_resonance(self, amd_desktop):
         """Fig. 17."""
         cpu = amd_desktop.cpu
@@ -191,6 +193,7 @@ class TestSection7AMD:
             78e6, abs=9e6
         )
 
+    @pytest.mark.slow
     def test_em_virus_beats_prime95_stability(self, amd_desktop):
         """Fig. 18: the EM virus crashes at voltages where Prime95-style
         power viruses run forever."""

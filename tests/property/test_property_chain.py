@@ -1,0 +1,125 @@
+"""Property-based invariants of the batched measurement chain.
+
+Two contracts the batch-first refactor must keep under *arbitrary*
+operating points, not just the fixtures the equivalence shims pin:
+
+- batch == sequential: pushing N items through one chain call yields
+  bitwise the same amplitudes (and RNG stream consumption) as N
+  one-item calls against an identically seeded receive chain;
+- permutation equivariance of the deterministic outputs: reordering a
+  request permutes the response-derived results and nothing else.
+  (The *noisy* amplitude is deliberately not equivariant -- analyzer
+  noise draws are positional by design, matching serial hardware.)
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.chain import ChainItem, ChainRequest, OperatingPoint
+from repro.core.characterizer import EMCharacterizer
+from repro.cpu.program import random_program
+from repro.instruments.spectrum_analyzer import SpectrumAnalyzer
+from repro.platforms.juno import make_juno_board
+
+# Module-local board: the hypothesis examples share its solver caches,
+# but every test resets the mutable cluster state via OperatingPoint
+# overrides only (the cluster itself is never mutated).
+_BOARD = make_juno_board()
+_CLUSTER = _BOARD.a53
+_CLOCKS = list(_CLUSTER.spec.allowed_clocks_hz())
+
+seeds = st.integers(min_value=0, max_value=10_000)
+counts = st.integers(min_value=1, max_value=4)
+# Stay inside repro.platforms.base.validate_voltage's [0.4, 1.6] V.
+voltages = st.floats(min_value=0.6, max_value=1.2, allow_nan=False)
+
+
+def _characterizer(seed=1234):
+    return EMCharacterizer(
+        analyzer=SpectrumAnalyzer(rng=np.random.default_rng(seed)),
+        samples=3,
+    )
+
+
+def _items(seed, count, voltage):
+    rng = np.random.default_rng(seed)
+    return [
+        ChainItem(
+            program=random_program(
+                _CLUSTER.spec.isa, int(rng.integers(3, 12)), rng,
+                name=f"p{i}",
+            ),
+            operating_point=OperatingPoint(
+                clock_hz=_CLOCKS[int(rng.integers(0, len(_CLOCKS)))],
+                voltage=float(voltage),
+            ),
+        )
+        for i in range(count)
+    ]
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=seeds, count=counts, voltage=voltages)
+def test_batch_equals_sequential_itemwise(seed, count, voltage):
+    """One N-item chain call == N seeded one-item calls, bitwise."""
+    items = _items(seed, count, voltage)
+    batched = _characterizer().measure_batch(
+        _CLUSTER, [], items=items
+    )
+    sequential_chain = _characterizer()
+    sequential = [
+        sequential_chain.measure_batch(_CLUSTER, [], items=[item])[0]
+        for item in items
+    ]
+    for b, s in zip(batched, sequential):
+        assert b.amplitude_w == s.amplitude_w
+        assert b.peak_frequency_hz == s.peak_frequency_hz
+        assert b.loop_frequency_hz == s.loop_frequency_hz
+        np.testing.assert_array_equal(
+            b.trace.power_dbm, s.trace.power_dbm
+        )
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=seeds,
+    count=st.integers(min_value=2, max_value=4),
+    voltage=voltages,
+    perm_seed=seeds,
+)
+def test_deterministic_outputs_are_permutation_equivariant(
+    seed, count, voltage, perm_seed
+):
+    """Reordering a response-only request reorders the results.
+
+    ``want_amplitude=False`` keeps the analyzer RNG out of the chain,
+    so every per-item output is a pure function of the item -- a
+    permuted batch must yield exactly the permuted outputs.
+    """
+    items = _items(seed, count, voltage)
+    perm = np.random.default_rng(perm_seed).permutation(count)
+    characterizer = _characterizer()
+
+    def run(ordered_items):
+        request = ChainRequest(
+            cluster=_CLUSTER,
+            items=list(ordered_items),
+            band=characterizer.band,
+            want_amplitude=False,
+            want_trace=False,
+        )
+        return characterizer.chain_path().run(request).items
+
+    base = run(items)
+    permuted = run([items[i] for i in perm])
+    for out_pos, in_pos in enumerate(perm):
+        assert (
+            permuted[out_pos].loop_frequency_hz
+            == base[in_pos].loop_frequency_hz
+        )
+        assert permuted[out_pos].ipc == base[in_pos].ipc
+        assert permuted[out_pos].max_droop == base[in_pos].max_droop
+        assert (
+            permuted[out_pos].peak_to_peak
+            == base[in_pos].peak_to_peak
+        )

@@ -1,16 +1,23 @@
 """Property-based round-trip tests for serialization layers."""
 
 import numpy as np
+import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.cpu.arm import ARM_ISA
 from repro.cpu.x86 import X86_ISA
 from repro.cpu.program import random_program
+from repro.faults import CorruptArtifact
 from repro.ga.instruction_spec import (
     parse_instruction_pool,
     render_instruction_pool,
 )
-from repro.io.serialization import program_from_dict, program_to_dict
+from repro.io.serialization import (
+    load_checkpoint,
+    program_from_dict,
+    program_to_dict,
+    save_checkpoint,
+)
 
 seeds = st.integers(min_value=0, max_value=100_000)
 lengths = st.integers(min_value=1, max_value=80)
@@ -66,3 +73,92 @@ def test_serialized_program_is_json_stable(seed, length):
         ARM_ISA, length, np.random.default_rng(seed)
     )
     assert program_to_dict(program) == program_to_dict(program)
+
+
+# ---------------------------------------------------------------------------
+# Checksummed checkpoint format (repro.io.serialization save/load).
+# ---------------------------------------------------------------------------
+def _checkpoint(seed, pop=4, length=6):
+    from repro.ga.engine import GACheckpoint, GAConfig
+
+    rng = np.random.default_rng(seed)
+    population = [
+        random_program(ARM_ISA, length, rng, name=f"p{i}")
+        for i in range(pop)
+    ]
+    return GACheckpoint(
+        config=GAConfig(
+            population_size=pop, generations=3, loop_length=length,
+            seed=seed,
+        ),
+        generation=1,
+        population=population,
+        rng_state=rng.bit_generator.state,
+        cache={},
+        history=[],
+        evaluations=pop,
+    )
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=seeds)
+def test_checksummed_checkpoint_round_trip(seed, tmp_path_factory):
+    """Arbitrary checkpoints survive the checksummed format exactly."""
+    path = tmp_path_factory.mktemp("ckpt") / "c.json"
+    checkpoint = _checkpoint(seed)
+    save_checkpoint(checkpoint, path)
+    loaded = load_checkpoint(path)
+    assert loaded.config == checkpoint.config
+    assert loaded.generation == checkpoint.generation
+    assert [p.genome() for p in loaded.population] == [
+        p.genome() for p in checkpoint.population
+    ]
+    assert loaded.rng_state == checkpoint.rng_state
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=seeds, cut=st.floats(min_value=0.05, max_value=0.95))
+def test_any_truncation_is_detected(seed, cut, tmp_path_factory):
+    """A checkpoint cut anywhere never loads as valid data."""
+    path = tmp_path_factory.mktemp("ckpt") / "c.json"
+    save_checkpoint(_checkpoint(seed), path)
+    raw = path.read_bytes()
+    path.write_bytes(raw[: max(1, int(len(raw) * cut))])
+    with pytest.raises(CorruptArtifact):
+        load_checkpoint(path)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=seeds, offset_frac=st.floats(min_value=0.0, max_value=0.999))
+def test_any_flipped_payload_byte_is_detected(
+    seed, offset_frac, tmp_path_factory
+):
+    """Flipping any single payload byte fails checksum verification."""
+    path = tmp_path_factory.mktemp("ckpt") / "c.json"
+    save_checkpoint(_checkpoint(seed), path)
+    raw = bytearray(path.read_bytes())
+    payload_len = raw.index(b"\n")
+    offset = min(int(payload_len * offset_frac), payload_len - 1)
+    raw[offset] ^= 0xFF
+    path.write_bytes(bytes(raw))
+    with pytest.raises(CorruptArtifact, match="checksum|truncated"):
+        load_checkpoint(path)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=seeds)
+def test_legacy_unchecksummed_checkpoint_loads_with_warning(
+    seed, tmp_path_factory
+):
+    import json
+
+    from repro.io.serialization import checkpoint_to_dict
+
+    path = tmp_path_factory.mktemp("ckpt") / "legacy.json"
+    checkpoint = _checkpoint(seed)
+    path.write_text(
+        json.dumps(checkpoint_to_dict(checkpoint)), encoding="utf-8"
+    )
+    with pytest.warns(UserWarning, match="no checksum footer"):
+        loaded = load_checkpoint(path)
+    assert loaded.generation == checkpoint.generation

@@ -206,3 +206,64 @@ class TestResumeFlow:
     def test_resume_flag_requires_existing_file(self, tmp_path):
         with pytest.raises(FileNotFoundError):
             main(VIRUS_ARGS + ["--resume", str(tmp_path / "nope.json")])
+
+
+class TestFaultPlanFlow:
+    @staticmethod
+    def _plan(tmp_path, specs):
+        from repro.faults import FaultPlan, FaultSpec
+
+        plan = FaultPlan(
+            specs=tuple(FaultSpec(**s) for s in specs)
+        )
+        path = tmp_path / "plan.json"
+        path.write_text(plan.to_json(), encoding="utf-8")
+        return path
+
+    def test_virus_under_fault_plan_matches_fault_free(
+        self, capsys, tmp_path
+    ):
+        """A transient chain fault retried to success leaves the
+        archived campaign byte-identical to the fault-free one."""
+        clean_dir = tmp_path / "clean"
+        chaos_dir = tmp_path / "chaos"
+        plan = self._plan(
+            tmp_path,
+            [{"site": "chain.receive", "at_visit": 0}],
+        )
+        assert main(VIRUS_ARGS + ["--out", str(clean_dir)]) == 0
+        assert main(
+            VIRUS_ARGS
+            + [
+                "--out", str(chaos_dir),
+                "--fault-plan", str(plan),
+                "--max-retries", "2",
+            ]
+        ) == 0
+        capsys.readouterr()
+        name = "cortex-a53-em-amplitude.summary.json"
+        clean = (clean_dir / name).read_text()
+        chaos = (chaos_dir / name).read_text()
+        assert chaos == clean
+        events = read_jsonl(chaos_dir / "events.jsonl")
+        names = [e["event"] for e in events]
+        assert "fault_injected" in names
+        assert "retry_attempt" in names
+        manifest = RunManifest.load(chaos_dir)
+        assert manifest.extra["fault_plan"] == str(plan)
+        assert manifest.extra["max_retries"] == 2
+
+    def test_bad_fault_plan_path_errors_cleanly(self, capsys, tmp_path):
+        assert main(
+            VIRUS_ARGS
+            + ["--fault-plan", str(tmp_path / "missing.json")]
+        ) == 2
+        assert "bad fault plan" in capsys.readouterr().err
+
+    def test_malformed_fault_plan_errors_cleanly(
+        self, capsys, tmp_path
+    ):
+        path = tmp_path / "plan.json"
+        path.write_text('{"kind": "not-a-plan"}', encoding="utf-8")
+        assert main(VIRUS_ARGS + ["--fault-plan", str(path)]) == 2
+        assert "bad fault plan" in capsys.readouterr().err
