@@ -1,0 +1,76 @@
+"""``python -m repro.audit`` -- the determinism audit command line.
+
+Subcommands::
+
+    python -m repro.audit lint src/          # static rule pass
+    python -m repro.audit rules              # print the rule table
+
+``lint`` exits 1 when any unsuppressed finding remains, 0 otherwise;
+suppressed findings are counted in the summary (and listed with
+``--show-suppressed``) but never fail the run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.audit.lint import lint_paths
+from repro.audit.rules import render_rule_table
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.audit",
+        description="determinism audit: static lint for the invariants "
+        "the repro's bit-identity guarantees rest on",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("lint", help="run the static rule pass")
+    p.add_argument("paths", nargs="+", help="files or directories")
+    p.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also print findings silenced by '# audit: ignore[..]'",
+    )
+    p.add_argument(
+        "--no-fixit",
+        action="store_true",
+        help="omit the fix-it line under each finding",
+    )
+
+    sub.add_parser("rules", help="print the rule table")
+    return parser
+
+
+def cmd_lint(args) -> int:
+    findings = lint_paths(args.paths)
+    unsuppressed = [f for f in findings if not f.suppressed]
+    shown = findings if args.show_suppressed else unsuppressed
+    for finding in shown:
+        print(finding.render(show_fixit=not args.no_fixit))
+    suppressed = len(findings) - len(unsuppressed)
+    print(
+        f"audit lint: {len(unsuppressed)} finding(s), "
+        f"{suppressed} suppressed",
+        file=sys.stderr,
+    )
+    return 1 if unsuppressed else 0
+
+
+def cmd_rules(args) -> int:
+    print(render_rule_table())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "lint":
+        return cmd_lint(args)
+    return cmd_rules(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

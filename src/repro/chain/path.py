@@ -80,6 +80,12 @@ class SignalPath:
     ) -> ChainResult:
         """Push one batch through every stage, in request order."""
         batch = resolve_request(request, self.session)
+        audit = self.session.audit
+        ledger = (
+            audit.chain_ledger(self, request)
+            if audit is not None
+            else None
+        )
         before = self.session.stats.snapshot()
         stage_times = {}
         for stage in self.stages:
@@ -90,6 +96,12 @@ class SignalPath:
             stage_times[stage.name] = round(
                 time.monotonic() - start, 6
             )
+            if ledger is not None:
+                # Outside the timing section so audit overhead never
+                # pollutes the per-stage wall times.
+                ledger.after_stage(
+                    stage.name, getattr(stage, "drains", ())
+                )
         after = self.session.stats.snapshot()
         cache_stats = {k: after[k] - before[k] for k in after}
         result = ChainResult(

@@ -17,16 +17,36 @@ detect state changes with a single integer comparison instead of
 re-reading every field; a version bump invalidates the memoized state
 snapshot (counted in ``stats.invalidations``) but never the
 state-keyed entries themselves, which remain valid for their own key.
+
+Identity keying: entries tied to a particular live object (a cluster,
+an analyzer) are keyed by a *stable token*, never by ``id()``.
+Clusters carry a process-wide monotonic ``Cluster.uid``; analyzers are
+assigned a session-local token by :meth:`SimulationSession._analyzer_token`,
+which holds a strong reference so the token can never be re-issued to
+a different object.  CPython reuses addresses after garbage
+collection, so an ``id()``-derived key could silently serve a dead
+object's cached entries to a newly allocated one (audit rule R3).
+
+Every cache is FIFO-bounded (``max_executions`` for executions,
+``max_grids`` for the derived-grid caches) so a long campaign cannot
+grow without limit; eviction order is insertion order.
+
+Passing a :class:`repro.audit.DeterminismTracker` as ``audit=``
+shadow-recomputes a seeded sample of cache hits and asserts bitwise
+equality with the cached entry, catching aliasing, missing
+``state_version`` bumps and in-place mutation at the moment they
+corrupt a result.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.audit.tracker import DeterminismTracker
     from repro.cpu.program import LoopProgram
     from repro.cpu.multicore import ClusterExecution
     from repro.em.radiation import DieRadiator
@@ -78,36 +98,79 @@ class SimulationSession:
     ``tests/chain/test_equivalence.py`` pin this.
     """
 
-    def __init__(self, max_executions: int = 4096):
+    def __init__(
+        self,
+        max_executions: int = 4096,
+        max_grids: int = 1024,
+        audit: Optional["DeterminismTracker"] = None,
+    ):
         self.stats = SessionStats()
         self._max_executions = max_executions
-        # id(cluster) -> (state_version, ClusterState)
+        self._max_grids = max_grids
+        self.audit = audit
+        # cluster.uid -> (state_version, ClusterState)
         self._cluster_states: Dict[int, Tuple[int, "ClusterState"]] = {}
-        # (cluster_id, genome, active, iterations) -> ClusterExecution
+        # (cluster.uid, genome, active, iterations) -> ClusterExecution
         self._executions: Dict[Tuple, "ClusterExecution"] = {}
-        # (cluster_id, powered_cores, n_samples, sample_rate) -> (Z, H_I)
+        # (cluster.uid, powered_cores, n_samples, sample_rate) -> (Z, H_I)
         self._tf_grids: Dict[Tuple, Tuple[np.ndarray, np.ndarray]] = {}
         # (radiator, grid_key) -> tilt array over the emission lines
         self._tilts: Dict[Tuple, np.ndarray] = {}
-        # (analyzer_id, settings, grid_key) -> line gain array
+        # (analyzer_token, settings, grid_key) -> line gain array
         self._gains: Dict[Tuple, np.ndarray] = {}
-        # (analyzer_id, settings, band) -> boolean bin mask
+        # (analyzer_token, settings, band) -> boolean bin mask
         self._band_masks: Dict[Tuple, np.ndarray] = {}
+        # Strong-reference identity registry: (analyzer, token) pairs.
+        self._analyzer_tokens: List[Tuple["SpectrumAnalyzer", int]] = []
+
+    # ------------------------------------------------------------------
+    # identity + bounding helpers
+    # ------------------------------------------------------------------
+    def _analyzer_token(self, analyzer: "SpectrumAnalyzer") -> int:
+        """Session-stable identity token for an analyzer.
+
+        The registry holds a strong reference, so the token stays bound
+        to this exact object for the session's lifetime -- unlike
+        ``id()``, which CPython re-issues once the object is collected.
+        (SpectrumAnalyzer is an eq-but-unfrozen dataclass and therefore
+        unhashable, so it cannot key a dict directly.)
+        """
+        for obj, token in self._analyzer_tokens:
+            if obj is analyzer:
+                return token
+        token = len(self._analyzer_tokens)
+        self._analyzer_tokens.append((analyzer, token))
+        return token
+
+    @staticmethod
+    def _bounded_put(cache: Dict, key, value, cap: int) -> None:
+        """Insert with FIFO eviction; a cap of 0 disables the cache."""
+        if cap <= 0:
+            return
+        while len(cache) >= cap:
+            cache.pop(next(iter(cache)))
+        cache[key] = value
 
     # ------------------------------------------------------------------
     # cluster state tracking
     # ------------------------------------------------------------------
     def cluster_state(self, cluster: "Cluster") -> "ClusterState":
         """The cluster's operating point, memoized by state version."""
-        key = id(cluster)
+        key = cluster.uid
         entry = self._cluster_states.get(key)
         version = cluster.state_version
         if entry is not None:
             if entry[0] == version:
+                if self.audit is not None:
+                    self.audit.check_hit(
+                        "cluster_states", key, entry[1], cluster.state
+                    )
                 return entry[1]
             self.stats.invalidations += 1
         state = cluster.state()
-        self._cluster_states[key] = (version, state)
+        self._bounded_put(
+            self._cluster_states, key, (version, state), self._max_grids
+        )
         return state
 
     # ------------------------------------------------------------------
@@ -148,8 +211,9 @@ class SimulationSession:
                 uncore_current_a=cluster.spec.uncore_current_a,
                 iterations=iterations,
             )
-        key = (id(cluster), program.genome(), active_cores, iterations)
+        key = (cluster.uid, program.genome(), active_cores, iterations)
         cached = self._executions.get(key)
+        hit = cached is not None
         if cached is None:
             self.stats.execute_misses += 1
             cached = execute_on_cluster(
@@ -159,13 +223,28 @@ class SimulationSession:
                 uncore_current_a=cluster.spec.uncore_current_a,
                 iterations=iterations,
             )
-            if len(self._executions) >= self._max_executions:
-                self._executions.pop(next(iter(self._executions)))
-            self._executions[key] = cached
+            self._bounded_put(
+                self._executions, key, cached, self._max_executions
+            )
         else:
             self.stats.execute_hits += 1
         if cached.clock_hz != clock_hz:
             cached = replace(cached, clock_hz=clock_hz)
+        if hit and self.audit is not None:
+            # Compare post-restamp so both sides carry this call's
+            # clock (the cache stores the first-seen clock by design).
+            self.audit.check_hit(
+                "executions",
+                key,
+                cached,
+                lambda: execute_on_cluster(
+                    core,
+                    program,
+                    active_cores=active_cores,
+                    uncore_current_a=cluster.spec.uncore_current_a,
+                    iterations=iterations,
+                ),
+            )
         return cached
 
     # ------------------------------------------------------------------
@@ -190,7 +269,7 @@ class SimulationSession:
 
         solver = cluster.pdn.solver(powered_cores)
         key = (
-            id(cluster),
+            cluster.uid,
             powered_cores,
             load_current.size,
             sample_rate_hz,
@@ -201,9 +280,20 @@ class SimulationSession:
             transfer = solver.transfer_functions(
                 load_current.size, sample_rate_hz
             )
-            self._tf_grids[key] = transfer
+            self._bounded_put(
+                self._tf_grids, key, transfer, self._max_grids
+            )
         else:
             self.stats.tf_hits += 1
+            if self.audit is not None:
+                self.audit.check_hit(
+                    "tf_grids",
+                    key,
+                    transfer,
+                    lambda: solver.transfer_functions(
+                        load_current.size, sample_rate_hz
+                    ),
+                )
         response = solver.solve(
             load_current, sample_rate_hz, transfer=transfer
         )
@@ -224,9 +314,16 @@ class SimulationSession:
         if tilt is None:
             self.stats.tilt_misses += 1
             tilt = radiator.tilt(frequencies_hz)
-            self._tilts[key] = tilt
+            self._bounded_put(self._tilts, key, tilt, self._max_grids)
         else:
             self.stats.tilt_hits += 1
+            if self.audit is not None:
+                self.audit.check_hit(
+                    "tilts",
+                    key,
+                    tilt,
+                    lambda: radiator.tilt(frequencies_hz),
+                )
         return tilt
 
     def line_gains(
@@ -236,14 +333,25 @@ class SimulationSession:
         grid_key: Tuple,
     ) -> np.ndarray:
         """Coupling x antenna gain over one grid's in-span lines."""
-        key = (id(analyzer), analyzer._settings_key(), grid_key)
+        key = (
+            self._analyzer_token(analyzer),
+            analyzer._settings_key(),
+            grid_key,
+        )
         gains = self._gains.get(key)
         if gains is None:
             self.stats.gain_misses += 1
             gains = analyzer.line_gains(frequencies_hz)
-            self._gains[key] = gains
+            self._bounded_put(self._gains, key, gains, self._max_grids)
         else:
             self.stats.gain_hits += 1
+            if self.audit is not None:
+                self.audit.check_hit(
+                    "gains",
+                    key,
+                    gains,
+                    lambda: analyzer.line_gains(frequencies_hz),
+                )
         return gains
 
     def band_mask(
@@ -252,13 +360,27 @@ class SimulationSession:
         band: Tuple[float, float],
     ) -> np.ndarray:
         """Boolean mask of the analyzer bins inside ``band``."""
-        key = (id(analyzer), analyzer._settings_key(), tuple(band))
+        key = (
+            self._analyzer_token(analyzer),
+            analyzer._settings_key(),
+            tuple(band),
+        )
         mask = self._band_masks.get(key)
         if mask is None:
             self.stats.mask_misses += 1
             centers = analyzer.bin_centers()
             mask = (centers >= band[0]) & (centers <= band[1])
-            self._band_masks[key] = mask
+            self._bounded_put(
+                self._band_masks, key, mask, self._max_grids
+            )
         else:
             self.stats.mask_hits += 1
+            if self.audit is not None:
+                centers = analyzer.bin_centers()
+                self.audit.check_hit(
+                    "band_masks",
+                    key,
+                    mask,
+                    lambda: (centers >= band[0]) & (centers <= band[1]),
+                )
         return mask

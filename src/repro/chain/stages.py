@@ -17,7 +17,7 @@ the stages are batched.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Protocol
+from typing import List, Optional, Protocol, Tuple
 
 import numpy as np
 
@@ -48,9 +48,16 @@ class ChainBatch:
 
 
 class Stage(Protocol):
-    """One step of the signal path, applied to a whole batch in place."""
+    """One step of the signal path, applied to a whole batch in place.
+
+    ``drains`` declares which RNG stream families the stage is entitled
+    to advance (``"memory"`` for per-item ``memory_rng`` generators,
+    ``"analyzer"`` for the analyzer RNG); the determinism audit's draw
+    ledger enforces it at every stage boundary.
+    """
 
     name: str
+    drains: Tuple[str, ...]
 
     def run(self, batch: ChainBatch) -> None: ...
 
@@ -127,6 +134,7 @@ class ExecuteStage:
     """
 
     name = "execute"
+    drains = ("memory",)
 
     def run(self, batch: ChainBatch) -> None:
         cluster = batch.cluster
@@ -190,6 +198,7 @@ class CurrentStage:
     """Operating-point scaling of the raw per-cycle current trace."""
 
     name = "current"
+    drains = ()
 
     def run(self, batch: ChainBatch) -> None:
         cluster = batch.cluster
@@ -210,6 +219,7 @@ class PDNStage:
     """Periodic steady-state rail response through the PDN model."""
 
     name = "pdn"
+    drains = ()
 
     def run(self, batch: ChainBatch) -> None:
         cluster = batch.cluster
@@ -227,6 +237,7 @@ class RadiateStage:
     """Die current harmonics -> radiated emission lines."""
 
     name = "radiate"
+    drains = ()
 
     def __init__(self, radiator):
         self.radiator = radiator
@@ -254,6 +265,7 @@ class PropagateStage:
     """
 
     name = "propagate"
+    drains = ()
 
     def __init__(self, analyzer):
         self.analyzer = analyzer
@@ -281,6 +293,7 @@ class ReceiveStage:
     """
 
     name = "receive"
+    drains = ("analyzer",)
 
     def __init__(self, analyzer):
         self.analyzer = analyzer

@@ -27,7 +27,7 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
@@ -46,6 +46,9 @@ from repro.obs.manifest import RunManifest
 from repro.platforms import registry
 from repro.platforms.base import Cluster
 
+if TYPE_CHECKING:  # pragma: no cover - annotation only
+    from repro.chain.session import SimulationSession
+
 PLATFORM_CHOICES = registry.platform_keys()
 
 EVENT_LOG_FILENAME = "events.jsonl"
@@ -60,11 +63,36 @@ def resolve_cluster(name: str) -> Cluster:
         raise ValueError(str(exc)) from None
 
 
-def make_characterizer(seed: int) -> EMCharacterizer:
+def make_characterizer(
+    seed: int, session: Optional["SimulationSession"] = None
+) -> EMCharacterizer:
     return EMCharacterizer(
         analyzer=SpectrumAnalyzer(rng=np.random.default_rng(seed)),
         samples=10,
+        session=session,
     )
+
+
+def _audited_characterizer(args, log) -> tuple:
+    """(characterizer, tracker-or-None) honouring ``--audit``.
+
+    With ``--audit`` the characterizer's session carries a
+    :class:`repro.audit.DeterminismTracker`: cache hits are
+    shadow-recomputed on a seeded sample and the chain keeps an RNG
+    draw ledger, with violations raised and mirrored into the event
+    log.  The tracker's own sampling PRNG is seeded from the run seed,
+    so an audited run is itself reproducible -- and never perturbs the
+    measurement streams, so results stay byte-identical to an
+    un-audited run.
+    """
+    if not getattr(args, "audit", False):
+        return make_characterizer(args.seed), None
+    from repro.audit import DeterminismTracker
+    from repro.chain.session import SimulationSession
+
+    tracker = DeterminismTracker(seed=args.seed, event_log=log)
+    session = SimulationSession(audit=tracker)
+    return make_characterizer(args.seed, session=session), tracker
 
 
 def _open_event_log(args) -> tuple:
@@ -132,10 +160,15 @@ def cmd_sweep(args) -> int:
         event_log=log,
         active_cores=1 if args.cores else None,
     )
+    characterizer, tracker = _audited_characterizer(args, log)
+    if tracker is not None:
+        manifest.extra["audit"] = True
     sweep = ResonanceSweep(
-        make_characterizer(args.seed), samples_per_point=args.samples
+        characterizer, samples_per_point=args.samples
     )
     result = sweep.run(ctx)
+    if tracker is not None:
+        tracker.emit_summary()
     print(f"# {cluster.name}, {cluster.powered_cores} powered cores")
     print(f"# {'loop_freq_hz':>14} {'amplitude_dbm':>14}")
     for point in sorted(result.points, key=lambda p: p.loop_frequency_hz):
@@ -210,9 +243,12 @@ def cmd_virus(args) -> int:
     if resume is not None:
         manifest.extra["resumed_from"] = str(args.resume)
         manifest.extra["resumed_at_generation"] = resume.generation
+    characterizer, tracker = _audited_characterizer(args, log)
+    if tracker is not None:
+        manifest.extra["audit"] = True
     generator = VirusGenerator(
         cluster,
-        make_characterizer(args.seed),
+        characterizer,
         config=config,
         event_log=log,
         checkpoint_path=checkpoint_path,
@@ -232,6 +268,8 @@ def cmd_virus(args) -> int:
     summary = generator.generate_em_virus(
         progress=progress, resume=resume
     )
+    if tracker is not None:
+        tracker.emit_summary()
     print(
         f"# virus for {cluster.name}: dominant "
         f"{summary.dominant_frequency_hz / 1e6:.1f} MHz, droop "
@@ -324,14 +362,19 @@ def cmd_report(args) -> int:
     manifest = RunManifest.create(
         "report", args.platform, args.seed, config=asdict(config)
     )
+    characterizer, tracker = _audited_characterizer(args, log)
+    if tracker is not None:
+        manifest.extra["audit"] = True
     report = characterize(
         cluster,
-        make_characterizer(args.seed),
+        characterizer,
         ga_config=config,
         run_vmin=not args.no_vmin,
         seed=args.seed,
         event_log=log,
     )
+    if tracker is not None:
+        tracker.emit_summary()
     markdown = report.to_markdown()
     print(markdown)
     if args.out:
@@ -361,6 +404,12 @@ def _add_artifact_flags(parser) -> None:
         "--events",
         default=None,
         help="extra event-log destination: a path, or '-' for stderr",
+    )
+    parser.add_argument(
+        "--audit",
+        action="store_true",
+        help="enable the runtime determinism audit (shadow-recomputed "
+        "cache hits + RNG draw ledger; results stay byte-identical)",
     )
 
 

@@ -219,11 +219,14 @@ class ParallelEvaluator:
         #: Genomes quarantined with a penalty score this run.
         self.quarantined: Set[Tuple] = set()
         if workers > 1:
+            # Only pickling failures mean "fall back to serial";
+            # anything else (KeyboardInterrupt, injected FaultErrors,
+            # AuditViolations) must propagate with its traceback.
             try:
                 self._payload = pickle.dumps(
                     (fitness, self._injector, retry_policy)
                 )
-            except Exception:
+            except (pickle.PicklingError, TypeError, AttributeError):
                 self._payload = None
 
     @property

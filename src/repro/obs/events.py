@@ -26,6 +26,13 @@ vocabulary on top of the harness milestones: ``fault_injected`` (a
 the penalty fitness) and ``checkpoint_recovered`` (a corrupt
 checkpoint was skipped in favor of an older rotation).  See
 ``docs/testing.md`` for the full recovery-path map.
+
+The determinism audit (:mod:`repro.audit`) contributes two more:
+``audit_violation`` (a runtime invariant broke -- payload carries the
+violation ``kind``, ``site`` and message; the matching typed
+:class:`~repro.audit.AuditViolation` is raised at the same moment) and
+``audit_summary`` (end-of-run counters: shadow checks per cache,
+ledger stages verified, replays, violations).
 """
 
 from __future__ import annotations

@@ -18,6 +18,7 @@ resonance peak dominates.
 from __future__ import annotations
 
 import enum
+import itertools
 from dataclasses import dataclass, field
 from typing import NamedTuple, Optional, Sequence, Tuple
 
@@ -86,6 +87,9 @@ class Cluster:
     that in-order and out-of-order models plug in uniformly.
     """
 
+    #: Process-wide monotonic source for :attr:`uid` tokens.
+    _uid_counter = itertools.count()
+
     def __init__(self, spec: ClusterSpec, pipeline: Pipeline):
         self.spec = spec
         self._pipeline = pipeline
@@ -94,6 +98,11 @@ class Cluster:
         self._voltage = spec.nominal_voltage
         self._powered_cores = spec.num_cores
         self._state_version = 0
+        # Stable identity token for cache keys.  Unlike id(self), a uid
+        # is never reused after this cluster is garbage collected, so a
+        # session outliving the cluster cannot alias a newer object's
+        # entries onto the dead one's (audit rule R3).
+        self.uid = next(Cluster._uid_counter)
 
     # ------------------------------------------------------------------
     # platform controls (SCP / Overdrive equivalents)

@@ -1,0 +1,139 @@
+"""Cache-identity and bounding regressions the audit rules flagged.
+
+The session used to key per-object caches by ``id(...)``; CPython
+reuses addresses after garbage collection, so a session outliving a
+cluster could serve the dead cluster's entries to a newly allocated
+one.  Keys now come from ``Cluster.uid`` (process-monotonic) and a
+strong-reference analyzer token registry.  Every cache is also
+FIFO-bounded, including the previously crashing ``max_executions=0``
+edge.
+"""
+
+import gc
+
+import numpy as np
+import pytest
+
+from repro.chain.session import SimulationSession
+from repro.instruments.spectrum_analyzer import SpectrumAnalyzer
+from repro.platforms.registry import make_cluster
+from repro.workloads.loops import high_low_program
+
+
+class TestClusterUid:
+    def test_uids_are_unique_and_monotonic(self):
+        a = make_cluster("a53")
+        b = make_cluster("a72")
+        assert a.uid != b.uid
+        assert b.uid > a.uid
+
+    def test_uid_never_reused_after_gc(self):
+        seen = set()
+        for _ in range(5):
+            cluster = make_cluster("a53")
+            assert cluster.uid not in seen
+            seen.add(cluster.uid)
+            del cluster
+            gc.collect()
+
+
+class TestAliasingRegression:
+    def test_session_outliving_clusters_never_aliases(self):
+        """Allocate/drop clusters in a loop against one long-lived
+        session: each fresh cluster must get its own state snapshot,
+        never a dead predecessor's (the historical ``id()`` key bug
+        required only an address reuse plus a matching
+        ``state_version``, both of which this loop provokes)."""
+        session = SimulationSession()
+        for name in ["a53", "a72", "amd"] * 3:
+            cluster = make_cluster(name)
+            cluster.set_clock(cluster.spec.allowed_clocks_hz()[0])
+            assert session.cluster_state(cluster) == cluster.state()
+            del cluster
+            gc.collect()
+
+    def test_distinct_analyzers_get_distinct_tokens(self):
+        session = SimulationSession()
+        a = SpectrumAnalyzer(rng=np.random.default_rng(1))
+        b = SpectrumAnalyzer(rng=np.random.default_rng(1))
+        # Same settings, same seed -- still distinct instruments.
+        assert a._settings_key() == b._settings_key()
+        assert session._analyzer_token(a) != session._analyzer_token(b)
+        assert session._analyzer_token(a) == session._analyzer_token(a)
+
+    def test_analyzer_registry_holds_strong_reference(self):
+        session = SimulationSession()
+        token = session._analyzer_token(
+            SpectrumAnalyzer(rng=np.random.default_rng(2))
+        )
+        gc.collect()
+        # The registered analyzer is kept alive by the session, so the
+        # token can never be re-issued to a different object.
+        registered, registered_token = session._analyzer_tokens[token]
+        assert registered_token == token
+        assert isinstance(registered, SpectrumAnalyzer)
+
+
+class TestFifoEviction:
+    def exec_args(self, cluster):
+        return dict(
+            program=high_low_program(cluster.spec.isa),
+            active_cores=1,
+            clock_hz=cluster.clock_hz,
+        )
+
+    def test_executions_evict_in_insertion_order(self):
+        cluster = make_cluster("a53")
+        session = SimulationSession(max_executions=2)
+        args = self.exec_args(cluster)
+        for iterations in (16, 17, 18):
+            session.execution(cluster, iterations=iterations, **args)
+        assert len(session._executions) == 2
+        kept_iterations = [key[3] for key in session._executions]
+        assert kept_iterations == [17, 18]  # 16 was first in, first out
+
+    def test_post_eviction_recompute_is_identical(self):
+        cluster = make_cluster("a53")
+        session = SimulationSession(max_executions=2)
+        args = self.exec_args(cluster)
+        first = session.execution(cluster, iterations=16, **args)
+        before = session.stats.execute_misses
+        session.execution(cluster, iterations=17, **args)
+        session.execution(cluster, iterations=18, **args)
+        again = session.execution(cluster, iterations=16, **args)
+        assert session.stats.execute_misses == before + 3  # recomputed
+        np.testing.assert_array_equal(
+            first.load_current, again.load_current
+        )
+        assert first.clock_hz == again.clock_hz
+
+    def test_zero_capacity_disables_cache_without_crashing(self):
+        # The pre-fix eviction popped from an empty dict at cap 0.
+        cluster = make_cluster("a53")
+        session = SimulationSession(max_executions=0)
+        args = self.exec_args(cluster)
+        first = session.execution(cluster, iterations=16, **args)
+        second = session.execution(cluster, iterations=16, **args)
+        assert session._executions == {}
+        assert session.stats.execute_hits == 0
+        np.testing.assert_array_equal(
+            first.load_current, second.load_current
+        )
+
+    def test_grid_caches_are_bounded(self):
+        session = SimulationSession(max_grids=1)
+        analyzer = SpectrumAnalyzer(rng=np.random.default_rng(3))
+        session.band_mask(analyzer, (50e6, 200e6))
+        session.band_mask(analyzer, (60e6, 150e6))
+        assert len(session._band_masks) == 1
+        (key,) = session._band_masks
+        assert key[2] == (60e6, 150e6)  # FIFO kept the newest
+
+    def test_bounded_mask_still_correct_after_eviction(self):
+        session = SimulationSession(max_grids=1)
+        analyzer = SpectrumAnalyzer(rng=np.random.default_rng(3))
+        reference = session.band_mask(analyzer, (50e6, 200e6)).copy()
+        session.band_mask(analyzer, (60e6, 150e6))
+        np.testing.assert_array_equal(
+            session.band_mask(analyzer, (50e6, 200e6)), reference
+        )

@@ -116,3 +116,42 @@ class TestEvaluator:
         )
         result = GAEngine(fitness, cfg).run(ARM_ISA)
         assert calls["n"] == result.evaluations
+
+
+class _InterruptOnPickle(PureFitness):
+    """Raises a non-pickling error mid-serialization."""
+
+    exc = KeyboardInterrupt
+
+    def __reduce__(self):
+        raise self.exc()
+
+
+class TestPicklingExceptionScope:
+    """The payload probe may only swallow pickling failures.
+
+    It used to catch ``Exception`` wholesale, which turned injected
+    faults (and anything else a ``__reduce__`` hook raised) into a
+    silent serial fallback with no traceback.
+    """
+
+    def test_keyboard_interrupt_propagates(self):
+        with pytest.raises(KeyboardInterrupt):
+            ParallelEvaluator(_InterruptOnPickle(), workers=2)
+
+    def test_injected_faults_propagate_with_traceback(self):
+        from repro.faults.errors import TransientFault
+
+        class FaultOnPickle(_InterruptOnPickle):
+            exc = staticmethod(
+                lambda: TransientFault("injected", site="ga.payload")
+            )
+
+        with pytest.raises(TransientFault) as excinfo:
+            ParallelEvaluator(FaultOnPickle(), workers=2)
+        assert excinfo.value.site == "ga.payload"
+
+    def test_plain_pickling_failure_still_falls_back(self):
+        secret = 1.5
+        ev = ParallelEvaluator(lambda p: secret, workers=2)
+        assert not ev.parallel
