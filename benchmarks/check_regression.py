@@ -13,7 +13,13 @@ that produced the baseline.
 
 The GA entry compares serial-vs-parallel wall-clock, which only means
 anything with real cores; it is skipped when either report ran with
-``cpu_count`` below the GA benchmark's worker count.
+fewer schedulable CPUs (``usable_cpus``, falling back to
+``cpu_count``) than the GA benchmark's worker count.  On runners with
+at least :data:`GA_FLOOR_CORES` cores the persistent-worker pool is
+additionally held to an absolute floor: ``ga.speedup`` below
+:data:`GA_SPEEDUP_FLOOR` fails the gate even if the baseline was just
+as bad, so the parallel path can never quietly regress back to
+slower-than-serial dispatch.
 
 Run from the repo root::
 
@@ -32,6 +38,17 @@ from pathlib import Path
 
 KERNEL_KEYS = ("schedule", "trace", "combined", "transient")
 
+#: Minimum acceptable ga.speedup on capable runners.
+GA_SPEEDUP_FLOOR = 1.5
+#: Core count from which the absolute GA floor is enforced.
+GA_FLOOR_CORES = 4
+
+
+def _cores(report: dict) -> int:
+    """Schedulable CPUs a report ran with (older reports lack the
+    ``usable_cpus`` field and fall back to the host count)."""
+    return report.get("usable_cpus") or report.get("cpu_count") or 0
+
 
 def compare(baseline: dict, current: dict, tolerance: float) -> list:
     """Return a list of (key, baseline_speedup, current_speedup, ok)."""
@@ -45,16 +62,22 @@ def compare(baseline: dict, current: dict, tolerance: float) -> list:
         baseline.get("ga", {}).get("workers", 0),
         current.get("ga", {}).get("workers", 0),
     )
-    cores = min(
-        baseline.get("cpu_count") or 0, current.get("cpu_count") or 0
-    )
+    cores = min(_cores(baseline), _cores(current))
     if "ga" in baseline and "ga" in current and cores >= workers:
         base = baseline["ga"]["speedup"]
         cur = current["ga"]["speedup"]
-        rows.append(("ga", base, cur, cur >= base * (1.0 - tolerance)))
+        ok = cur >= base * (1.0 - tolerance)
+        if cores >= GA_FLOOR_CORES and cur < GA_SPEEDUP_FLOOR:
+            print(
+                f"ga: speedup {cur:.2f}x is below the "
+                f"{GA_SPEEDUP_FLOOR}x floor on a {cores}-core runner",
+                file=sys.stderr,
+            )
+            ok = False
+        rows.append(("ga", base, cur, ok))
     else:
         print(
-            f"ga: skipped (cpu_count {cores} < workers {workers}; "
+            f"ga: skipped (usable cpus {cores} < workers {workers}; "
             "parallel speedup is meaningless without real cores)",
             file=sys.stderr,
         )

@@ -152,6 +152,27 @@ class SimulationSession:
         cache[key] = value
 
     # ------------------------------------------------------------------
+    # warm-up / cache priming
+    # ------------------------------------------------------------------
+    def warm_up(
+        self, cluster: Optional["Cluster"] = None
+    ) -> Dict[str, int]:
+        """Prime the session's cheap deterministic entries.
+
+        Called once per persistent GA worker at pool start (see
+        :mod:`repro.ga.workers`) so the first dispatched shard runs
+        against warm caches: with a ``cluster`` the operating-state
+        snapshot is memoized immediately.  Only pure, RNG-free
+        derivations may run here -- warming must never perturb a
+        measurement stream, or the ``workers=N == workers=1``
+        bit-identity contract breaks.  Returns a stats snapshot for
+        the ``worker_warmup`` event.
+        """
+        if cluster is not None:
+            self.cluster_state(cluster)
+        return self.stats.snapshot()
+
+    # ------------------------------------------------------------------
     # cluster state tracking
     # ------------------------------------------------------------------
     def cluster_state(self, cluster: "Cluster") -> "ClusterState":

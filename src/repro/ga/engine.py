@@ -325,6 +325,7 @@ class GAEngine:
         checkpoint_path: Optional[Union[str, Path]] = None,
         checkpoint_every: int = 5,
         resume: Optional[GACheckpoint] = None,
+        evaluator: Optional[ParallelEvaluator] = None,
     ) -> GAResult:
         """Run the full optimization and return per-generation history.
 
@@ -340,6 +341,13 @@ class GAEngine:
         ``resume`` restores a :class:`GACheckpoint` (see
         :func:`repro.io.serialization.load_checkpoint`) and continues
         bit-identically to the uninterrupted run.
+
+        ``evaluator`` lets the caller supply (and keep ownership of) a
+        pre-warmed :class:`~repro.ga.parallel.ParallelEvaluator` whose
+        persistent worker pool survives this run -- benchmarks use it
+        to keep pool/session warm-up out of the timed region.  Without
+        one, the engine builds its own from ``config.workers`` and
+        closes it when the run ends.
         """
         cfg = self.config
         log = event_log if event_log is not None else NULL_LOG
@@ -378,13 +386,18 @@ class GAEngine:
             resumed_from_generation=start_gen if resume else None,
             cache_size=len(self._cache),
         )
-        evaluator = ParallelEvaluator(
-            self._fitness,
-            cfg.workers,
-            retry_policy=self._retry_policy,
-            fault_injector=self._fault_injector,
-            event_log=log,
-        )
+        owns_evaluator = evaluator is None
+        if owns_evaluator:
+            evaluator = ParallelEvaluator(
+                self._fitness,
+                cfg.workers,
+                retry_policy=self._retry_policy,
+                fault_injector=self._fault_injector,
+                event_log=log,
+            )
+        # Start the persistent pool (workers warm their sessions) up
+        # front so the first generation is not charged for it.
+        evaluator.warm_up()
         try:
             for gen in range(start_gen, cfg.generations):
                 log.emit(
@@ -424,6 +437,7 @@ class GAEngine:
                     ),
                     quarantined=len(evaluator.quarantined) or None,
                     kernel_timings=timings.snapshot() or None,
+                    worker_cache_stats=evaluator.worker_stats() or None,
                 )
                 if progress is not None:
                     progress(record)
@@ -449,7 +463,8 @@ class GAEngine:
                         cache_size=len(self._cache),
                     )
         finally:
-            evaluator.close()
+            if owns_evaluator:
+                evaluator.close()
         result = GAResult(
             config=cfg, history=history, evaluations=evaluations
         )

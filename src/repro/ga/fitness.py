@@ -95,6 +95,18 @@ class ClusterFitness:
         if restore is not None:
             restore(state)
 
+    # Warm-cache protocol: persistent GA workers (repro.ga.workers)
+    # call warm_up() once at pool start and session_stats() after each
+    # shard; delegate both, binding this fitness's cluster so the
+    # session can prime its operating-state snapshot.
+    def warm_up(self) -> Optional[dict]:
+        warm = getattr(self.fitness, "warm_up", None)
+        return warm(cluster=self.cluster) if warm is not None else None
+
+    def session_stats(self) -> Optional[dict]:
+        stats = getattr(self.fitness, "session_stats", None)
+        return stats() if stats is not None else None
+
 
 @dataclass
 class EMAmplitudeFitness:
@@ -149,6 +161,41 @@ class EMAmplitudeFitness:
         state.pop("_path", None)
         state["session"] = None
         return state
+
+    def warm_up(self, cluster: object = None) -> Optional[dict]:
+        """Build the chain and prime its session caches, once.
+
+        Persistent GA workers call this at pool start: the
+        :class:`~repro.chain.session.SimulationSession` (created here
+        if the pickling round-trip dropped it), the stage pipeline,
+        and -- given a ``cluster`` -- the operating-state snapshot and
+        analyzer band mask are all derived before the first shard
+        arrives, so no generation pays cold-start costs.  Everything
+        warmed is a pure RNG-free derivation; the analyzer's noise
+        stream is untouched (bit-identity contract).  Returns the
+        session's stats snapshot for the ``worker_warmup`` event.
+        """
+        if self.session is None:
+            from repro.chain import SimulationSession
+
+            self.session = SimulationSession()
+        self._chain_path()
+        self.session.band_mask(self.analyzer, self.band)
+        return self.session.warm_up(cluster=cluster)
+
+    def session_stats(self) -> Optional[dict]:
+        """Current session cache counters (None before any session).
+
+        Reads through the built chain when one exists: with
+        ``session=None`` the :class:`SignalPath` owns a private
+        session, and that is the one doing the caching.
+        """
+        path = getattr(self, "_path", None)
+        if path is not None:
+            return path.session.stats.snapshot()
+        if self.session is None:
+            return None
+        return self.session.stats.snapshot()
 
     # Checkpoint protocol: the spectrum analyzer's noise RNG advances
     # with every fresh measurement, so bit-identical resume requires

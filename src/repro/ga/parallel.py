@@ -1,38 +1,46 @@
 """Parallel fitness evaluation for the GA engine, with resilience.
 
 A generation's unseen genomes are independent measurements, so they can
-be fanned out across worker processes.  The dispatch model is:
+be fanned out across worker processes.  The dispatch model (backed by
+the persistent warm-cache pool in :mod:`repro.ga.workers`) is:
 
 1. the engine dedupes the generation by genome against its memo cache,
 2. unseen programs are split into one contiguous shard per worker and
-   submitted to a :class:`ProcessPoolExecutor` (created once per run
-   and reused across generations) -- one task per shard, so each
-   worker pushes its whole shard through the measurement chain as a
-   single batched call, and
-3. per-shard results are flattened back in submission order.
+   submitted as a single whole-population request to a
+   :class:`~repro.ga.workers.PersistentWorkerPool` -- long-lived
+   workers that received the fitness spec once at pool start, warmed
+   their :class:`~repro.chain.session.SimulationSession` once, and
+   keep those caches hot across generations; shards travel as compact
+   ndarray payloads (:mod:`repro.ga.shm`), and
+3. per-shard results are reassembled strictly in submission order.
 
-Ordering is deterministic: shard results are collected in the order
-shards were submitted and each shard preserves item order, so a *pure*
-fitness function produces bit-identical ``GAResult`` histories at any
-worker count (the ``workers=4 == workers=1`` determinism test).  A
-fitness that mutates hidden state per call (e.g. a spectrum analyzer
-advancing its RNG) keeps that state per-process under parallel
-dispatch, so its scores are only reproducible serially -- leave
-``workers=1`` for those.
+Ordering is deterministic: results are keyed by shard index and each
+shard preserves item order, so a *pure* fitness function produces
+bit-identical ``GAResult`` histories at any worker count (the
+``workers=4 == workers=1`` determinism test).  A fitness that mutates
+hidden state per call (e.g. a spectrum analyzer advancing its RNG)
+keeps that state per-process under parallel dispatch, so its scores
+are only reproducible serially -- leave ``workers=1`` for those.
 
 Fitness callables must be picklable to cross the process boundary
 (plain functions, dataclass instances such as
 :class:`repro.ga.fitness.ClusterFitness` -- not closures).  An
-unpicklable fitness degrades gracefully to serial evaluation.
+unpicklable fitness degrades gracefully to serial evaluation; the
+probe's verdict is memoized per fitness *object* (identity, weakly
+referenced) so constructing evaluators repeatedly does not re-pickle
+large fitness state just to re-learn the same answer.
 
 Resilience (see :mod:`repro.faults`): with a
 :class:`~repro.faults.RetryPolicy` attached, transient faults raised
 inside batch evaluation are retried with the fitness's RNG state
 rewound (``fitness_state`` protocol), so a retried-to-success run is
 bit-identical to a fault-free one.  Crashed workers
-(:class:`~repro.faults.WorkerCrash`, ``BrokenProcessPool``, dispatch
-timeouts) get their shards re-dispatched; after
-``max_pool_restarts`` crash events the evaluator emits
+(:class:`~repro.faults.WorkerCrash`, dead worker processes, dispatch
+timeouts) get their shards re-dispatched -- the pool respawns dead or
+hung workers with a full warm-up replay, while a worker that merely
+*raised* an injected ``WorkerCrash`` stays alive (its fault counters
+keep advancing, exactly like the historical executor semantics).
+After ``max_pool_restarts`` crash events the evaluator emits
 ``degraded_to_serial`` and finishes the campaign in-process.  A genome
 that keeps failing after per-item retries is *quarantined*: it scores
 :data:`PENALTY_SCORE` (emitting ``genome_quarantined``) so the GA
@@ -42,20 +50,19 @@ keeps advancing instead of dying with the instrument.
 from __future__ import annotations
 
 import pickle
-from concurrent.futures import TimeoutError as FuturesTimeoutError
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
-from typing import Callable, List, Optional, Sequence, Set, Tuple
+import weakref
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.cpu.program import LoopProgram
-from repro.faults.errors import (
-    RETRYABLE_FAULTS,
-    StageTimeout,
-    WorkerCrash,
-)
+from repro.faults.errors import RETRYABLE_FAULTS, WorkerCrash
 from repro.faults.plan import NULL_INJECTOR, FaultInjector
 from repro.faults.retry import RetryPolicy, call_with_retry
 from repro.ga.fitness import FitnessEvaluation
+from repro.ga.workers import (
+    PersistentWorkerPool,
+    evaluate_with as _evaluate_with,
+    state_hooks as _state_hooks,
+)
 from repro.obs.events import NULL_LOG, EventLog
 
 #: Score assigned to quarantined genomes.  Real fitness metrics
@@ -64,16 +71,17 @@ from repro.obs.events import NULL_LOG, EventLog
 #: keeping generation means finite.
 PENALTY_SCORE = 0.0
 
-#: Crash events (WorkerCrash / broken pool / dispatch timeout) after
+#: Crash events (WorkerCrash / dead worker / dispatch timeout) after
 #: which the evaluator stops re-dispatching and finishes serially.
 DEFAULT_MAX_POOL_RESTARTS = 3
 
-# Per-worker fitness/injector, installed once by the pool initializer
-# so each task ships only its (small) LoopProgram shard, not the whole
-# measurement chain.
-_WORKER_FITNESS: Optional[Callable] = None
-_WORKER_INJECTOR: FaultInjector = NULL_INJECTOR
-_WORKER_POLICY: Optional[RetryPolicy] = None
+#: Picklability-probe verdicts per fitness object: ``(weakref, bool)``
+#: pairs compared by identity.  A list rather than a
+#: ``WeakKeyDictionary`` because fitness objects are often eq-compared
+#: unhashable dataclasses.  Only the *verdict* is cached -- payload
+#: bytes are always pickled fresh at pool start so workers see current
+#: fitness state, never a stale snapshot.
+_PROBE_CACHE: List[Tuple["weakref.ref", bool]] = []
 
 
 def penalty_evaluation() -> FitnessEvaluation:
@@ -88,60 +96,27 @@ def penalty_evaluation() -> FitnessEvaluation:
     )
 
 
-def _init_worker(payload: bytes) -> None:
-    global _WORKER_FITNESS, _WORKER_INJECTOR, _WORKER_POLICY
-    _WORKER_FITNESS, _WORKER_INJECTOR, _WORKER_POLICY = pickle.loads(
-        payload
-    )
+def _cached_probe(fitness: Callable) -> Optional[bool]:
+    """Look up a memoized picklability verdict (and purge dead refs)."""
+    verdict = None
+    alive = []
+    for ref, ok in _PROBE_CACHE:
+        obj = ref()
+        if obj is None:
+            continue
+        alive.append((ref, ok))
+        if obj is fitness:
+            verdict = ok
+    _PROBE_CACHE[:] = alive
+    return verdict
 
 
-def _evaluate_with(
-    fitness: Callable, programs: Sequence[LoopProgram]
-) -> List[FitnessEvaluation]:
-    """Evaluate in order, batched when the fitness supports it."""
-    batch = getattr(fitness, "evaluate_batch", None)
-    if batch is not None:
-        return list(batch(programs))
-    return [fitness(p) for p in programs]
-
-
-def _state_hooks(
-    fitness: Callable,
-) -> Tuple[Optional[Callable], Optional[Callable]]:
-    """(capture, restore) fitness-state hooks, if the fitness has them."""
-    return (
-        getattr(fitness, "fitness_state", None),
-        getattr(fitness, "restore_fitness_state", None),
-    )
-
-
-def _evaluate_in_worker(program: LoopProgram) -> FitnessEvaluation:
-    return _WORKER_FITNESS(program)
-
-
-def _evaluate_shard_in_worker(
-    programs: Sequence[LoopProgram],
-) -> List[FitnessEvaluation]:
-    """One shard, inside a worker: fault site + local transient retry.
-
-    Transient chain faults are retried here with the worker-local
-    fitness state rewound; anything that survives the worker's budget
-    (including :class:`WorkerCrash`) propagates to the parent, which
-    re-dispatches or salvages the shard.  Worker-side retries cannot
-    reach the parent's event log, so they are silent; the parent-side
-    serial path is the one the chaos suite asserts events from.
-    """
-    _WORKER_INJECTOR.visit("worker.shard")
-    if _WORKER_POLICY is None:
-        return _evaluate_with(_WORKER_FITNESS, programs)
-    capture, restore = _state_hooks(_WORKER_FITNESS)
-    return call_with_retry(
-        lambda: _evaluate_with(_WORKER_FITNESS, programs),
-        _WORKER_POLICY,
-        scope="worker-shard",
-        capture_state=capture,
-        restore_state=restore,
-    )
+def _remember_probe(fitness: Callable, verdict: bool) -> None:
+    try:
+        ref = weakref.ref(fitness)
+    except TypeError:
+        return  # not weak-referenceable; skip caching
+    _PROBE_CACHE.append((ref, verdict))
 
 
 def shard(
@@ -164,7 +139,7 @@ def shard(
 
 
 class ParallelEvaluator:
-    """Evaluates batches of programs across a process pool.
+    """Evaluates batches of programs across a persistent worker pool.
 
     Parameters
     ----------
@@ -183,9 +158,13 @@ class ParallelEvaluator:
         workers alongside the fitness (site ``worker.shard``).
     event_log:
         Destination for ``fault_injected`` / ``retry_attempt`` /
-        ``degraded_to_serial`` / ``genome_quarantined`` events.
+        ``worker_warmup`` / ``degraded_to_serial`` /
+        ``genome_quarantined`` events.
     max_pool_restarts:
         Crash events tolerated before degrading to serial execution.
+    use_shm:
+        Force shared-memory payload transport on/off; ``None`` follows
+        the ``REPRO_GA_SHM`` environment variable (default on).
     """
 
     def __init__(
@@ -196,6 +175,7 @@ class ParallelEvaluator:
         fault_injector: Optional[FaultInjector] = None,
         event_log: EventLog = NULL_LOG,
         max_pool_restarts: int = DEFAULT_MAX_POOL_RESTARTS,
+        use_shm: Optional[bool] = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -209,9 +189,11 @@ class ParallelEvaluator:
         )
         self._log = event_log
         self._max_pool_restarts = max_pool_restarts
-        self._pool: Optional[ProcessPoolExecutor] = None
+        self._use_shm = use_shm
+        self._pool: Optional[PersistentWorkerPool] = None
         self._payload: Optional[bytes] = None
-        #: Crash events seen so far (worker deaths, broken pools,
+        self._picklable = False
+        #: Crash events seen so far (worker deaths, injected crashes,
         #: dispatch timeouts).
         self.pool_crashes = 0
         #: Whether the evaluator has permanently fallen back to serial.
@@ -219,20 +201,34 @@ class ParallelEvaluator:
         #: Genomes quarantined with a penalty score this run.
         self.quarantined: Set[Tuple] = set()
         if workers > 1:
-            # Only pickling failures mean "fall back to serial";
-            # anything else (KeyboardInterrupt, injected FaultErrors,
-            # AuditViolations) must propagate with its traceback.
-            try:
-                self._payload = pickle.dumps(
-                    (fitness, self._injector, retry_policy)
-                )
-            except (pickle.PicklingError, TypeError, AttributeError):
-                self._payload = None
+            self._picklable = self._probe_picklability()
+
+    def _probe_picklability(self) -> bool:
+        """Whether the fitness spec can cross the process boundary.
+
+        Memoized per fitness object; a cache hit skips pickling
+        entirely (the payload is then built lazily at pool start).
+        Only pickling failures mean "fall back to serial"; anything
+        else (KeyboardInterrupt, injected FaultErrors, AuditViolations)
+        must propagate with its traceback.
+        """
+        cached = _cached_probe(self._fitness)
+        if cached is not None:
+            return cached
+        try:
+            self._payload = pickle.dumps(
+                (self._fitness, self._injector, self._policy)
+            )
+        except (pickle.PicklingError, TypeError, AttributeError):
+            _remember_probe(self._fitness, False)
+            return False
+        _remember_probe(self._fitness, True)
+        return True
 
     @property
     def parallel(self) -> bool:
         """Whether batches actually fan out to worker processes."""
-        return self._payload is not None and not self.degraded
+        return self._picklable and not self.degraded
 
     def evaluate(
         self, programs: Sequence[LoopProgram]
@@ -241,6 +237,23 @@ class ParallelEvaluator:
         if not self.parallel or len(programs) <= 1:
             return self._evaluate_serial(programs)
         return self._evaluate_parallel(programs)
+
+    def warm_up(self) -> None:
+        """Start the worker pool eagerly (no-op when serial).
+
+        Spawns the workers and blocks until every worker finished its
+        fitness ``warm_up()`` hook, so the first ``evaluate`` call --
+        and anything the caller times around it -- runs against warm
+        caches.  Emits one ``worker_warmup`` event per worker.
+        """
+        if self.parallel:
+            self._ensure_pool()
+
+    def worker_stats(self) -> Dict[int, dict]:
+        """Latest per-worker session cache stats (worker id keyed)."""
+        if self._pool is None:
+            return {}
+        return dict(self._pool.worker_stats)
 
     # ------------------------------------------------------------------
     # serial path (workers=1, unpicklable fitness, or degraded)
@@ -299,20 +312,29 @@ class ParallelEvaluator:
         return results
 
     # ------------------------------------------------------------------
-    # parallel path: shard dispatch with crash recovery
+    # parallel path: persistent pool dispatch with crash recovery
     # ------------------------------------------------------------------
-    def _ensure_pool(self) -> ProcessPoolExecutor:
+    def _ensure_pool(self) -> PersistentWorkerPool:
         if self._pool is None:
-            self._pool = ProcessPoolExecutor(
-                max_workers=self.workers,
-                initializer=_init_worker,
-                initargs=(self._payload,),
+            if self._payload is None:
+                # Probe verdict was cached, so nothing was pickled in
+                # the constructor; build the payload now (and only
+                # now -- workers must see current fitness state).
+                self._payload = pickle.dumps(
+                    (self._fitness, self._injector, self._policy)
+                )
+            self._pool = PersistentWorkerPool(
+                self._payload,
+                self.workers,
+                event_log=self._log,
+                use_shm=self._use_shm,
             )
+            self._pool.start()
         return self._pool
 
     def _teardown_pool(self) -> None:
         if self._pool is not None:
-            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool.close()
             self._pool = None
 
     def _record_crash(self, shard_index: int, exc: BaseException) -> None:
@@ -350,43 +372,29 @@ class ParallelEvaluator:
                 remaining = []
                 break
             pool = self._ensure_pool()
-            futures = [
-                (i, pool.submit(_evaluate_shard_in_worker, shards[i]))
-                for i in remaining
-            ]
+            outcomes = pool.dispatch(
+                {i: shards[i] for i in remaining}, timeout_s=timeout
+            )
             next_remaining: List[int] = []
-            pool_broken = False
-            for i, future in futures:
-                if pool_broken:
-                    # The pool died while earlier futures were being
-                    # collected; everything still pending is lost.
-                    next_remaining.append(i)
+            for i in remaining:
+                outcome = outcomes[i]
+                if outcome.kind == "ok":
+                    results[i] = outcome.results
                     continue
-                try:
-                    results[i] = future.result(timeout=timeout)
-                except (WorkerCrash, BrokenProcessPool) as exc:
+                exc = outcome.error
+                if outcome.kind == "crash" or isinstance(
+                    exc, WorkerCrash
+                ):
+                    # Dead/hung worker (already respawned warm by the
+                    # pool) or an injected crash from a still-healthy
+                    # worker: either way, re-dispatch the shard.
                     self._record_crash(i, exc)
                     next_remaining.append(i)
-                    if isinstance(exc, BrokenProcessPool):
-                        pool_broken = True
-                except FuturesTimeoutError:
-                    self._record_crash(
-                        i,
-                        StageTimeout(
-                            f"shard {i} exceeded {timeout}s dispatch "
-                            "budget",
-                            site="worker.shard",
-                        ),
-                    )
-                    next_remaining.append(i)
-                    # The hung task may still be holding its worker;
-                    # recycle the whole pool.
-                    pool_broken = True
-                except RETRYABLE_FAULTS as exc:
+                elif isinstance(exc, RETRYABLE_FAULTS):
                     # A transient fault survived the worker's local
                     # retries (or no policy is attached).
                     if self._policy is None:
-                        raise
+                        raise exc
                     retry_counts[i] += 1
                     if retry_counts[i] <= self._policy.max_retries:
                         self._log.emit(
@@ -401,8 +409,8 @@ class ParallelEvaluator:
                         next_remaining.append(i)
                     else:
                         results[i] = self._salvage_items(shards[i])
-            if pool_broken:
-                self._teardown_pool()
+                else:
+                    raise exc
             if (
                 next_remaining
                 and self.pool_crashes > self._max_pool_restarts
@@ -423,9 +431,7 @@ class ParallelEvaluator:
 
     def close(self) -> None:
         """Shut the worker pool down (idempotent)."""
-        if self._pool is not None:
-            self._pool.shutdown()
-            self._pool = None
+        self._teardown_pool()
 
     def __enter__(self) -> "ParallelEvaluator":
         return self

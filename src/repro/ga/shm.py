@@ -1,0 +1,385 @@
+"""Compact ndarray payloads for the persistent GA workers.
+
+The persistent worker runtime (:mod:`repro.ga.workers`) moves two
+kinds of data across the process boundary every generation: genome
+batches (parent -> worker) and fitness-evaluation matrices (worker ->
+parent).  Pickling whole ``LoopProgram``/``FitnessEvaluation`` object
+graphs per dispatch is what made the original shard model slower than
+serial, so this module provides the compact alternative:
+
+* :class:`ProgramEncoder` / :class:`ProgramDecoder` turn a program
+  batch into one ``int64`` instruction matrix (columns: spec index,
+  dest, address, source registers) plus a small header.  The
+  :class:`~repro.cpu.isa.InstructionSet` itself is pickled **once per
+  distinct ISA** on the parent side and cached by token on the worker
+  side, so steady-state dispatch ships only the matrix and a tuple of
+  names.
+* :func:`encode_evaluations` / :func:`decode_evaluations` pack a list
+  of :class:`~repro.ga.fitness.FitnessEvaluation` results into one
+  ``(N, 6) float64`` matrix.
+* :func:`pack_arrays` / :func:`unpack_arrays` move the ndarrays either
+  through a :class:`multiprocessing.shared_memory.SharedMemory` block
+  (zero-copy on the write side, one copy on the read side) or inline
+  through the queue when the payload is small, shared memory is
+  disabled (``REPRO_GA_SHM=0``) or block creation fails.
+
+Every encoder has a pickle fallback: batches whose instructions are
+not drawn from their ISA's spec table, or evaluations that are not
+plain-float ``FitnessEvaluation`` instances, round-trip through
+ordinary pickle so exotic fitness callables keep working -- the codec
+is an optimization, never a compatibility constraint.  Decoded
+programs compare genome-equal to the originals and evaluations are
+bit-identical (float64 in, float64 out), which is what keeps the
+``workers=N == workers=1`` contract intact over this transport.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+try:  # pragma: no cover - exercised via the fallback flag in tests
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover - always present on CPython
+    _shared_memory = None
+
+#: Payloads smaller than this travel inline through the queue; the
+#: fixed cost of creating + attaching a block only pays off for the
+#: multi-kilobyte genome matrices.
+DEFAULT_SHM_MIN_BYTES = 4096
+
+
+def shm_enabled_by_env() -> bool:
+    """Whether ``REPRO_GA_SHM`` permits shared-memory payloads."""
+    return os.environ.get("REPRO_GA_SHM", "1").lower() not in (
+        "0", "false", "no", "off",
+    )
+
+
+# ---------------------------------------------------------------------------
+# ndarray bundles: shared-memory block or inline fallback
+# ---------------------------------------------------------------------------
+@dataclass
+class ArrayBundle:
+    """Picklable descriptor of an ndarray batch in transit.
+
+    ``via == "shm"`` carries only the block name plus per-array shape,
+    dtype and byte-offset metadata; ``via == "inline"`` carries the
+    arrays themselves (small payloads, disabled or failed shared
+    memory).
+    """
+
+    via: str
+    shm_name: Optional[str] = None
+    shapes: Tuple[Tuple[int, ...], ...] = ()
+    dtypes: Tuple[str, ...] = ()
+    offsets: Tuple[int, ...] = ()
+    inline: Optional[List[np.ndarray]] = None
+
+
+def pack_arrays(
+    arrays: Sequence[np.ndarray],
+    use_shm: bool,
+    min_bytes: int = DEFAULT_SHM_MIN_BYTES,
+) -> Tuple[ArrayBundle, Optional[object]]:
+    """Bundle ``arrays`` for the queue; returns ``(bundle, owner)``.
+
+    ``owner`` is the :class:`SharedMemory` block backing an ``"shm"``
+    bundle -- the *creating* side must keep it alive until the consumer
+    has copied the data out, then call :func:`release_block`.  Inline
+    bundles have no owner (``None``).
+    """
+    arrays = [np.ascontiguousarray(a) for a in arrays]
+    total = sum(a.nbytes for a in arrays)
+    if (
+        use_shm
+        and _shared_memory is not None
+        and total >= min_bytes
+    ):
+        try:
+            block = _shared_memory.SharedMemory(create=True, size=total)
+        except OSError:
+            block = None  # /dev/shm unavailable or full: go inline.
+        if block is not None:
+            offsets = []
+            cursor = 0
+            for a in arrays:
+                offsets.append(cursor)
+                view = np.ndarray(
+                    a.shape, dtype=a.dtype,
+                    buffer=block.buf, offset=cursor,
+                )
+                view[...] = a
+                cursor += a.nbytes
+            return (
+                ArrayBundle(
+                    via="shm",
+                    shm_name=block.name,
+                    shapes=tuple(a.shape for a in arrays),
+                    dtypes=tuple(a.dtype.str for a in arrays),
+                    offsets=tuple(offsets),
+                ),
+                block,
+            )
+    return ArrayBundle(via="inline", inline=arrays), None
+
+
+def unpack_arrays(bundle: ArrayBundle) -> List[np.ndarray]:
+    """Materialize the arrays of ``bundle`` (copying out of shm).
+
+    The returned arrays own their memory: a shared-memory block is
+    attached, copied and closed within this call, so the sender may
+    release it as soon as the consumer acknowledges the message.
+    """
+    if bundle.via == "inline":
+        return list(bundle.inline or [])
+    if _shared_memory is None:  # pragma: no cover - defensive
+        raise RuntimeError("shared_memory unavailable for shm bundle")
+    block = _shared_memory.SharedMemory(name=bundle.shm_name)
+    # CPython < 3.13 registers even attach-only blocks with the
+    # resource tracker, which then warns at exit about names the
+    # *creator* already unlinked (bpo-39959).  This side never owns the
+    # block, so take it back out of the tracker's ledger.
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(
+            getattr(block, "_name", bundle.shm_name), "shared_memory"
+        )
+    except (ImportError, AttributeError):  # pragma: no cover
+        pass
+    try:
+        return [
+            np.ndarray(
+                shape, dtype=np.dtype(dtype),
+                buffer=block.buf, offset=offset,
+            ).copy()
+            for shape, dtype, offset in zip(
+                bundle.shapes, bundle.dtypes, bundle.offsets
+            )
+        ]
+    finally:
+        block.close()
+
+
+def release_block(block: Optional[object]) -> None:
+    """Close and unlink a block created by :func:`pack_arrays`."""
+    if block is None:
+        return
+    block.close()
+    try:
+        block.unlink()
+    except FileNotFoundError:  # pragma: no cover - already unlinked
+        pass
+
+
+# ---------------------------------------------------------------------------
+# program batches <-> instruction matrices
+# ---------------------------------------------------------------------------
+#: Fixed columns of the instruction matrix before the source block.
+_SPEC, _DEST, _ADDR, _NSRC = 0, 1, 2, 3
+_FIXED_COLS = 4
+
+
+class ProgramEncoder:
+    """Parent-side program->matrix codec with an ISA pickle cache.
+
+    Each distinct :class:`InstructionSet` is pickled once and assigned
+    a small integer token; shard headers reference programs by token
+    and carry the pickled bytes so a worker (including a freshly
+    respawned one) can always resolve them, while a warm worker skips
+    the unpickle via its own token cache.
+    """
+
+    def __init__(self) -> None:
+        # Identity registry with strong references (never id()-keyed:
+        # CPython reuses addresses after GC -- audit rule R3).
+        self._isas: List[Tuple[object, int, bytes]] = []
+        self._spec_index: Dict[int, Dict[object, int]] = {}
+
+    def _isa_token(self, isa: object) -> Tuple[int, bytes]:
+        for obj, token, blob in self._isas:
+            if obj is isa:
+                return token, blob
+        token = len(self._isas)
+        blob = pickle.dumps(isa)
+        self._isas.append((isa, token, blob))
+        self._spec_index[token] = {
+            spec: i for i, spec in enumerate(isa.specs)
+        }
+        return token, blob
+
+    def encode(
+        self, programs: Sequence
+    ) -> Tuple[dict, List[np.ndarray]]:
+        """``(header, arrays)`` for a batch of ``LoopProgram``s.
+
+        Falls back to ``{"kind": "pickle"}`` when any instruction's
+        spec is not in its ISA's table (hand-built spec pools).
+        """
+        rows = []
+        tokens = []
+        lengths = []
+        names = []
+        blobs: Dict[int, bytes] = {}
+        max_src = 1
+        for program in programs:
+            token, blob = self._isa_token(program.isa)
+            index = self._spec_index[token]
+            body_rows = []
+            for instr in program.body:
+                spec_idx = index.get(instr.spec)
+                if spec_idx is None:
+                    return (
+                        {
+                            "kind": "pickle",
+                            "blob": pickle.dumps(list(programs)),
+                        },
+                        [],
+                    )
+                body_rows.append((spec_idx, instr))
+                max_src = max(max_src, len(instr.sources))
+            rows.append(body_rows)
+            tokens.append(token)
+            lengths.append(len(program.body))
+            names.append(program.name)
+            blobs[token] = blob
+        matrix = np.full(
+            (sum(lengths), _FIXED_COLS + max_src), -1, dtype=np.int64
+        )
+        cursor = 0
+        for body_rows in rows:
+            for spec_idx, instr in body_rows:
+                row = matrix[cursor]
+                row[_SPEC] = spec_idx
+                if instr.dest is not None:
+                    row[_DEST] = instr.dest
+                if instr.address is not None:
+                    row[_ADDR] = instr.address
+                row[_NSRC] = len(instr.sources)
+                for k, src in enumerate(instr.sources):
+                    row[_FIXED_COLS + k] = src
+                cursor += 1
+        header = {
+            "kind": "arrays",
+            "names": tuple(names),
+            "lengths": tuple(lengths),
+            "isa_tokens": tuple(tokens),
+            "isa_blobs": blobs,
+        }
+        return header, [matrix]
+
+
+class ProgramDecoder:
+    """Worker-side matrix->program codec; caches ISAs by token."""
+
+    def __init__(self) -> None:
+        self._isas: Dict[int, object] = {}
+
+    def decode(
+        self, header: dict, arrays: Sequence[np.ndarray]
+    ) -> List:
+        from repro.cpu.isa import Instruction
+        from repro.cpu.program import LoopProgram
+
+        if header["kind"] == "pickle":
+            return pickle.loads(header["blob"])
+        for token, blob in header["isa_blobs"].items():
+            if token not in self._isas:
+                self._isas[token] = pickle.loads(blob)
+        (matrix,) = arrays
+        programs = []
+        cursor = 0
+        for name, length, token in zip(
+            header["names"], header["lengths"], header["isa_tokens"]
+        ):
+            isa = self._isas[token]
+            body = []
+            for row in matrix[cursor:cursor + length]:
+                spec = isa.specs[int(row[_SPEC])]
+                n_src = int(row[_NSRC])
+                body.append(
+                    Instruction(
+                        spec=spec,
+                        dest=(
+                            int(row[_DEST]) if row[_DEST] >= 0 else None
+                        ),
+                        sources=tuple(
+                            int(row[_FIXED_COLS + k])
+                            for k in range(n_src)
+                        ),
+                        address=(
+                            int(row[_ADDR]) if row[_ADDR] >= 0 else None
+                        ),
+                    )
+                )
+            cursor += length
+            programs.append(
+                LoopProgram(isa=isa, body=tuple(body), name=name)
+            )
+        return programs
+
+
+# ---------------------------------------------------------------------------
+# evaluation batches <-> float64 matrices
+# ---------------------------------------------------------------------------
+#: FitnessEvaluation field order of the result matrix columns.
+EVAL_FIELDS = (
+    "score",
+    "dominant_frequency_hz",
+    "max_droop_v",
+    "peak_to_peak_v",
+    "ipc",
+    "loop_frequency_hz",
+)
+
+
+def encode_evaluations(
+    evaluations: Sequence,
+) -> Tuple[dict, List[np.ndarray]]:
+    """``(header, arrays)`` for a list of fitness evaluations.
+
+    Only exact :class:`FitnessEvaluation` instances whose fields are
+    all plain ``float``s use the matrix form (guaranteeing the decoded
+    values are type- and bit-identical); anything else -- subclasses,
+    integer scores, custom result objects -- pickles through unchanged.
+    """
+    from repro.ga.fitness import FitnessEvaluation
+
+    packable = all(
+        type(e) is FitnessEvaluation
+        and all(
+            type(getattr(e, f)) is float for f in EVAL_FIELDS
+        )
+        for e in evaluations
+    )
+    if not packable:
+        return (
+            {"kind": "pickle", "blob": pickle.dumps(list(evaluations))},
+            [],
+        )
+    matrix = np.array(
+        [[getattr(e, f) for f in EVAL_FIELDS] for e in evaluations],
+        dtype=np.float64,
+    ).reshape(len(evaluations), len(EVAL_FIELDS))
+    return {"kind": "arrays", "count": len(evaluations)}, [matrix]
+
+
+def decode_evaluations(
+    header: dict, arrays: Sequence[np.ndarray]
+) -> List:
+    from repro.ga.fitness import FitnessEvaluation
+
+    if header["kind"] == "pickle":
+        return pickle.loads(header["blob"])
+    (matrix,) = arrays
+    return [
+        FitnessEvaluation(
+            **{f: float(row[i]) for i, f in enumerate(EVAL_FIELDS)}
+        )
+        for row in matrix
+    ]

@@ -27,6 +27,14 @@ the penalty fitness) and ``checkpoint_recovered`` (a corrupt
 checkpoint was skipped in favor of an older rotation).  See
 ``docs/testing.md`` for the full recovery-path map.
 
+The persistent GA worker pool (:mod:`repro.ga.workers`) emits one
+``worker_warmup`` event per worker (re)spawn -- worker id, pid,
+warm-up wall time, whether it replaced a crashed worker
+(``respawned``), and the session cache stats its warm-up primed --
+and the GA engine folds each worker's latest cache counters into
+``generation_end`` as ``worker_cache_stats`` (worker id keyed), so
+per-worker cache-hit rates are readable straight off the run log.
+
 The determinism audit (:mod:`repro.audit`) contributes two more:
 ``audit_violation`` (a runtime invariant broke -- payload carries the
 violation ``kind``, ``site`` and message; the matching typed

@@ -1,0 +1,400 @@
+"""Persistent warm-cache GA workers: determinism, transport, recovery.
+
+The contract pinned here is that moving dispatch onto long-lived
+warm-cache worker processes (``repro.ga.workers``) changes *nothing*
+observable but wall-clock: ``workers=4`` histories stay byte-identical
+to ``workers=1`` across multi-generation runs, through mid-run
+checkpoint/resume, under injected worker crashes with respawn, and
+with the shared-memory transport disabled (inline pickle fallback).
+"""
+
+import json
+import multiprocessing
+import os
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.cpu.arm import ARM_ISA
+from repro.cpu.program import random_program
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    RetryPolicy,
+)
+from repro.ga.engine import GAConfig, GAEngine
+from repro.ga.fitness import FitnessEvaluation
+from repro.ga.parallel import ParallelEvaluator
+from repro.ga.shm import (
+    ProgramDecoder,
+    ProgramEncoder,
+    decode_evaluations,
+    encode_evaluations,
+    pack_arrays,
+    release_block,
+    unpack_arrays,
+)
+from repro.ga.workers import PersistentWorkerPool
+from repro.io.serialization import load_checkpoint
+from repro.obs.events import EventLog, MemorySink
+
+from tests.ga.test_parallel import PureFitness
+
+POLICY = RetryPolicy(max_retries=2, base_delay_s=0.0)
+
+CONFIG = GAConfig(
+    population_size=12, generations=6, loop_length=20, seed=4
+)
+
+
+def _programs(count=6, length=12, seed=3):
+    rng = np.random.default_rng(seed)
+    return [
+        random_program(ARM_ISA, length, rng, name=f"w{i}")
+        for i in range(count)
+    ]
+
+
+def _evaluation(score):
+    return FitnessEvaluation(
+        score=score,
+        dominant_frequency_hz=0.0,
+        max_droop_v=0.0,
+        peak_to_peak_v=0.0,
+        ipc=1.0,
+        loop_frequency_hz=1.0,
+    )
+
+
+def history_bytes(result) -> bytes:
+    """A ``GAResult``'s history as canonical bytes (config excluded,
+    so runs that differ only in ``workers`` can be compared)."""
+    return json.dumps(
+        [
+            [
+                rec.generation,
+                rec.mean_score,
+                rec.best.__dict__,
+                rec.best_program.genome(),
+            ]
+            for rec in result.history
+        ],
+        sort_keys=True,
+    ).encode()
+
+
+def _assert_byte_identical(a, b):
+    assert history_bytes(a) == history_bytes(b)
+    assert a.evaluations == b.evaluations
+
+
+# ---------------------------------------------------------------------------
+# ndarray transport (repro.ga.shm)
+# ---------------------------------------------------------------------------
+class TestTransportCodecs:
+    def test_program_codec_roundtrips_genomes(self):
+        programs = _programs(count=5, length=17)
+        header, arrays = ProgramEncoder().encode(programs)
+        assert header["kind"] == "arrays"
+        decoded = ProgramDecoder().decode(header, arrays)
+        assert [p.genome() for p in decoded] == [
+            p.genome() for p in programs
+        ]
+        assert [p.name for p in decoded] == [p.name for p in programs]
+
+    def test_program_encoder_pickles_each_isa_once(self):
+        encoder = ProgramEncoder()
+        encoder.encode(_programs(count=3))
+        header, _ = encoder.encode(_programs(count=4, seed=8))
+        assert set(header["isa_tokens"]) == {0}
+
+    def test_eval_codec_is_bit_identical(self):
+        evals = [_evaluation(0.1 + i * 1e-9) for i in range(7)]
+        header, arrays = encode_evaluations(evals)
+        assert header["kind"] == "arrays"
+        assert decode_evaluations(header, arrays) == evals
+
+    def test_eval_codec_falls_back_for_exotic_results(self):
+        # An int score must survive with its type, not become float64.
+        exotic = _evaluation(1.0)
+        exotic.score = 3
+        header, arrays = encode_evaluations([exotic])
+        assert header["kind"] == "pickle"
+        (back,) = decode_evaluations(header, arrays)
+        assert back.score == 3 and type(back.score) is int
+
+    def test_shm_roundtrip_and_release(self):
+        arrays = [
+            np.arange(2048, dtype=np.int64).reshape(64, 32),
+            np.linspace(0.0, 1.0, 900),
+        ]
+        bundle, owner = pack_arrays(arrays, use_shm=True, min_bytes=0)
+        assert bundle.via == "shm" and owner is not None
+        back = unpack_arrays(bundle)
+        release_block(owner)
+        for sent, got in zip(arrays, back):
+            np.testing.assert_array_equal(sent, got)
+            assert got.dtype == sent.dtype
+
+    def test_small_or_disabled_payloads_go_inline(self):
+        arrays = [np.arange(4)]
+        for use_shm in (True, False):
+            bundle, owner = pack_arrays(arrays, use_shm=use_shm)
+            assert bundle.via == "inline" and owner is None
+            np.testing.assert_array_equal(
+                unpack_arrays(bundle)[0], arrays[0]
+            )
+
+
+# ---------------------------------------------------------------------------
+# the pool itself
+# ---------------------------------------------------------------------------
+class TestPersistentPool:
+    def test_dispatch_matches_serial_and_emits_warmup(self):
+        import pickle
+
+        from repro.faults.plan import NULL_INJECTOR
+
+        programs = _programs(count=8)
+        fitness = PureFitness()
+        expected = [fitness(p).score for p in programs]
+        sink = MemorySink()
+        payload = pickle.dumps((PureFitness(), NULL_INJECTOR, None))
+        with PersistentWorkerPool(
+            payload, workers=2, event_log=EventLog([sink])
+        ) as pool:
+            pool.start()
+            outcomes = pool.dispatch(
+                {0: programs[:4], 1: programs[4:]}
+            )
+        assert [o.kind for o in outcomes.values()] == ["ok", "ok"]
+        got = [
+            e.score
+            for i in (0, 1)
+            for e in outcomes[i].results
+        ]
+        assert got == expected
+        warmups = sink.events("worker_warmup")
+        assert len(warmups) == 2
+        assert {w["worker"] for w in warmups} == {0, 1}
+        for w in warmups:
+            assert w["respawned"] is False
+            assert w["warmup_s"] >= 0.0
+            assert w["pid"]
+
+    def test_pool_survives_many_generations_of_dispatch(self):
+        import pickle
+
+        from repro.faults.plan import NULL_INJECTOR
+
+        fitness = PureFitness()
+        payload = pickle.dumps((PureFitness(), NULL_INJECTOR, None))
+        with PersistentWorkerPool(payload, workers=2) as pool:
+            for gen in range(4):
+                programs = _programs(count=6, seed=100 + gen)
+                outcomes = pool.dispatch(
+                    {0: programs[:3], 1: programs[3:]}
+                )
+                got = [
+                    e.score
+                    for i in (0, 1)
+                    for e in outcomes[i].results
+                ]
+                assert got == [fitness(p).score for p in programs]
+            assert pool.respawns == 0
+
+
+class DieOnceFitness:
+    """Hard-kills the first worker process that evaluates; pure after.
+
+    A filesystem marker (``O_EXCL``) makes exactly one worker die, so
+    the test exercises real process death -> respawn with warm-up
+    replay -> successful re-dispatch, without degrading the pool.
+    """
+
+    def __init__(self, marker: str):
+        self.marker = marker
+
+    def __call__(self, program):
+        if multiprocessing.parent_process() is not None:
+            try:
+                fd = os.open(
+                    self.marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY
+                )
+            except FileExistsError:
+                pass
+            else:
+                os.close(fd)
+                os._exit(1)
+        return _evaluation(float(len(program.body)))
+
+
+class TestCrashRespawn:
+    def test_real_death_respawns_with_warmup_replay(self, tmp_path):
+        programs = _programs(count=6)
+        expected = [float(len(p.body)) for p in programs]
+        sink = MemorySink()
+        with ParallelEvaluator(
+            DieOnceFitness(str(tmp_path / "died")),
+            workers=2,
+            retry_policy=POLICY,
+            event_log=EventLog([sink]),
+        ) as evaluator:
+            got = [e.score for e in evaluator.evaluate(programs)]
+        assert got == expected
+        assert evaluator.pool_crashes == 1
+        assert not evaluator.degraded
+        # The dead worker was replaced and re-ran its warm-up.
+        respawned = [
+            w for w in sink.events("worker_warmup") if w["respawned"]
+        ]
+        assert len(respawned) == 1
+        crashes = sink.events("worker_crash")
+        assert crashes and "died mid-shard" in crashes[0]["error"]
+
+    def test_injected_crash_run_matches_workers_1(self):
+        """Fault-plan worker crashes + respawn machinery must not
+        perturb the history relative to a serial fault-free run."""
+        injector = FaultInjector(
+            FaultPlan(
+                specs=(
+                    FaultSpec(
+                        site="worker.shard",
+                        kind="worker_crash",
+                        at_visit=0,
+                        times=1,
+                    ),
+                )
+            )
+        )
+        serial = GAEngine(PureFitness(), CONFIG).run(ARM_ISA)
+        chaotic = GAEngine(
+            PureFitness(),
+            replace(CONFIG, workers=4),
+            retry_policy=POLICY,
+            fault_injector=injector,
+        ).run(ARM_ISA)
+        _assert_byte_identical(serial, chaotic)
+
+
+# ---------------------------------------------------------------------------
+# engine-level bit-identity
+# ---------------------------------------------------------------------------
+class TestDeterminism:
+    def test_workers_4_resume_mid_run_matches_workers_1(self, tmp_path):
+        """workers=4 with a mid-run kill + resume reproduces the
+        serial uninterrupted history byte for byte."""
+        serial = GAEngine(PureFitness(), CONFIG).run(ARM_ISA)
+
+        parallel_cfg = replace(CONFIG, workers=4)
+        ckpt = tmp_path / "workers.ckpt.json"
+        GAEngine(
+            PureFitness(), replace(parallel_cfg, generations=3)
+        ).run(ARM_ISA, checkpoint_path=ckpt, checkpoint_every=1)
+        resumed = GAEngine(PureFitness(), parallel_cfg).run(
+            ARM_ISA, resume=load_checkpoint(ckpt)
+        )
+        _assert_byte_identical(serial, resumed)
+
+    def test_shm_disabled_fallback_matches_workers_1(self, monkeypatch):
+        monkeypatch.setenv("REPRO_GA_SHM", "0")
+        serial = GAEngine(PureFitness(), CONFIG).run(ARM_ISA)
+        parallel = GAEngine(
+            PureFitness(), replace(CONFIG, workers=4)
+        ).run(ARM_ISA)
+        _assert_byte_identical(serial, parallel)
+
+    def test_explicit_use_shm_flag_matches_serial(self):
+        programs = _programs(count=8)
+        fitness = PureFitness()
+        expected = [fitness(p).score for p in programs]
+        for use_shm in (True, False):
+            with ParallelEvaluator(
+                PureFitness(), workers=2, use_shm=use_shm
+            ) as evaluator:
+                got = [
+                    e.score for e in evaluator.evaluate(programs)
+                ]
+            assert got == expected
+
+
+# ---------------------------------------------------------------------------
+# warm-up hooks
+# ---------------------------------------------------------------------------
+class TestWarmUpHooks:
+    def test_session_warm_up_primes_cluster_state(self):
+        from repro.chain import SimulationSession
+        from repro.platforms.juno import make_juno_board
+
+        cluster = make_juno_board().a72
+        session = SimulationSession()
+        stats = session.warm_up(cluster=cluster)
+        assert stats["invalidations"] == 0
+        # The snapshot is memoized: same object back, no version bump.
+        assert session.cluster_state(cluster) is session.cluster_state(
+            cluster
+        )
+
+    def test_fitness_warm_up_does_not_perturb_scores(self):
+        from repro.ga.fitness import ClusterFitness, EMAmplitudeFitness
+        from repro.instruments.spectrum_analyzer import SpectrumAnalyzer
+        from repro.platforms.juno import make_juno_board
+
+        def make(seed):
+            return ClusterFitness(
+                EMAmplitudeFitness(
+                    analyzer=SpectrumAnalyzer(
+                        rng=np.random.default_rng(seed)
+                    ),
+                    samples=3,
+                ),
+                make_juno_board().a72,
+            )
+
+        program = _programs(count=1)[0]
+        cold, warmed = make(9), make(9)
+        stats = warmed.warm_up()
+        assert isinstance(stats, dict)
+        # Warming is RNG-free: same program, same analyzer noise, same
+        # score as the never-warmed twin.
+        assert warmed(program) == cold(program)
+        after = warmed.session_stats()
+        assert after is not None and after["execute_misses"] >= 1
+
+    def test_generation_end_carries_worker_cache_stats(self):
+        from repro.ga.fitness import ClusterFitness, EMAmplitudeFitness
+        from repro.instruments.spectrum_analyzer import SpectrumAnalyzer
+        from repro.platforms.juno import make_juno_board
+
+        fitness = ClusterFitness(
+            EMAmplitudeFitness(
+                analyzer=SpectrumAnalyzer(rng=np.random.default_rng(3)),
+                samples=2,
+            ),
+            make_juno_board().a72,
+        )
+        sink = MemorySink()
+        GAEngine(
+            fitness,
+            GAConfig(
+                population_size=4,
+                generations=2,
+                loop_length=5,
+                seed=1,
+                workers=2,
+            ),
+        ).run(ARM_ISA, event_log=EventLog([sink]))
+        warmups = sink.events("worker_warmup")
+        assert len(warmups) == 2
+        # Workers warmed their sessions before the first shard.
+        assert all(
+            isinstance(w["cache_stats"], dict) for w in warmups
+        )
+        gen_ends = sink.events("generation_end")
+        assert gen_ends
+        stats = gen_ends[-1]["worker_cache_stats"]
+        assert stats and all(
+            "execute_misses" in s for s in stats.values()
+        )
