@@ -18,6 +18,9 @@ writes the results to ``BENCH_eval_engine.json``:
   (the JSON records the host's full ``cpu_count``, the
   scheduler-visible ``usable_cpus`` and the worker count actually
   used, so small-runner numbers are interpretable)
+* ``islands`` -- 2-island ring campaign (``--workers // 2`` workers
+  per island, migration every generation) vs one serial engine over
+  the same total population; target >= 1.3x on >= 4 cores
 
 Run from the repo root::
 
@@ -218,6 +221,60 @@ def bench_ga(quick: bool, workers: int) -> dict:
     }
 
 
+def bench_islands(quick: bool, workers: int) -> dict:
+    """Island campaign wall-clock: 2-island ring vs one serial engine.
+
+    Both legs run the same total population and generation count; the
+    island leg splits it across two islands with ``workers // 2``
+    workers each (ring migration every generation), so the speedup
+    measures what sharding the campaign buys over serial dispatch.
+    Pools are pre-warmed and one untimed campaign runs first, so the
+    timed region is steady-state -- warm-up is reported separately.
+    """
+    from repro.ga.islands import IslandConfig, IslandGAEngine
+
+    base = dict(
+        population_size=16 if quick else 32,
+        generations=3 if quick else 6,
+        loop_length=40,
+        seed=11,
+    )
+    per_island = max(1, workers // 2)
+
+    fitness = _KernelFitness()
+    t0 = time.perf_counter()
+    serial = GAEngine(fitness, config=GAConfig(workers=1, **base))
+    serial.run(ARM_ISA)  # untimed warm-up campaign
+    serial_warmup_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    serial.run(ARM_ISA)
+    serial_s = time.perf_counter() - t0
+
+    engine = IslandGAEngine(
+        _KernelFitness(),
+        GAConfig(workers=per_island, **base),
+        IslandConfig(islands=2, topology="ring", migration_interval=1),
+    )
+    with engine:
+        t0 = time.perf_counter()
+        engine.warm_up()
+        engine.run(ARM_ISA)  # untimed warm-up campaign
+        warmup_s = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        engine.run(ARM_ISA)
+        island_s = time.perf_counter() - t0
+
+    return {
+        "serial_s": serial_s,
+        "island_s": island_s,
+        "warmup_s": warmup_s,
+        "serial_warmup_s": serial_warmup_s,
+        "islands": 2,
+        "workers_per_island": per_island,
+        "speedup": serial_s / island_s if island_s > 0 else float("inf"),
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -248,7 +305,11 @@ def main(argv=None) -> int:
         "usable_cpus": (
             len(affinity(0)) if affinity is not None else os.cpu_count()
         ),
-        "targets": {"combined_kernel_speedup": 5.0, "ga_speedup": 2.0},
+        "targets": {
+            "combined_kernel_speedup": 5.0,
+            "ga_speedup": 2.0,
+            "islands_speedup": 1.3,
+        },
     }
     print("benchmarking schedule/trace kernels ...", file=sys.stderr)
     report.update(bench_kernels(args.quick))
@@ -256,9 +317,13 @@ def main(argv=None) -> int:
     report["transient"] = bench_transient(args.quick)
     print(f"benchmarking GA at workers={args.workers} ...", file=sys.stderr)
     report["ga"] = bench_ga(args.quick, args.workers)
+    print("benchmarking 2-island ring campaign ...", file=sys.stderr)
+    report["islands"] = bench_islands(args.quick, args.workers)
 
     out.write_text(json.dumps(report, indent=2) + "\n")
-    for key in ("schedule", "trace", "combined", "transient", "ga"):
+    for key in (
+        "schedule", "trace", "combined", "transient", "ga", "islands"
+    ):
         entry = report[key]
         print(f"{key:>10}: {entry['speedup']:.2f}x")
     print(f"report written to {out}")

@@ -19,7 +19,8 @@ at least :data:`GA_FLOOR_CORES` cores the persistent-worker pool is
 additionally held to an absolute floor: ``ga.speedup`` below
 :data:`GA_SPEEDUP_FLOOR` fails the gate even if the baseline was just
 as bad, so the parallel path can never quietly regress back to
-slower-than-serial dispatch.
+slower-than-serial dispatch.  The ``islands`` entry (2-island ring vs
+serial) is gated the same way against :data:`ISLANDS_SPEEDUP_FLOOR`.
 
 Run from the repo root::
 
@@ -42,6 +43,8 @@ KERNEL_KEYS = ("schedule", "trace", "combined", "transient")
 GA_SPEEDUP_FLOOR = 1.5
 #: Core count from which the absolute GA floor is enforced.
 GA_FLOOR_CORES = 4
+#: Minimum acceptable islands.speedup on capable runners.
+ISLANDS_SPEEDUP_FLOOR = 1.3
 
 
 def _cores(report: dict) -> int:
@@ -81,7 +84,42 @@ def compare(baseline: dict, current: dict, tolerance: float) -> list:
             "parallel speedup is meaningless without real cores)",
             file=sys.stderr,
         )
+
+    # The island campaign spreads 2 islands x workers_per_island
+    # processes; like the ga entry it is only meaningful with that
+    # many real cores behind it.
+    island_procs = max(
+        _island_procs(baseline), _island_procs(current)
+    )
+    if (
+        "islands" in baseline
+        and "islands" in current
+        and cores >= island_procs
+    ):
+        base = baseline["islands"]["speedup"]
+        cur = current["islands"]["speedup"]
+        ok = cur >= base * (1.0 - tolerance)
+        if cores >= GA_FLOOR_CORES and cur < ISLANDS_SPEEDUP_FLOOR:
+            print(
+                f"islands: speedup {cur:.2f}x is below the "
+                f"{ISLANDS_SPEEDUP_FLOOR}x floor on a "
+                f"{cores}-core runner",
+                file=sys.stderr,
+            )
+            ok = False
+        rows.append(("islands", base, cur, ok))
+    else:
+        print(
+            f"islands: skipped (usable cpus {cores} < "
+            f"{island_procs} island workers)",
+            file=sys.stderr,
+        )
     return rows
+
+
+def _island_procs(report: dict) -> int:
+    entry = report.get("islands", {})
+    return entry.get("islands", 0) * entry.get("workers_per_island", 0)
 
 
 def main(argv=None) -> int:

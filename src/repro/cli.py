@@ -36,6 +36,7 @@ from repro.core.resonance import ResonanceSweep
 from repro.core.virusgen import VirusGenerator
 from repro.faults.retry import RetryPolicy
 from repro.ga.engine import GAConfig
+from repro.ga.topology import TOPOLOGIES
 from repro.instruments.spectrum_analyzer import (
     SpectrumAnalyzer,
     watts_to_dbm,
@@ -53,6 +54,9 @@ PLATFORM_CHOICES = registry.platform_keys()
 
 EVENT_LOG_FILENAME = "events.jsonl"
 CHECKPOINT_FILENAME = "checkpoint.json"
+
+#: Default checkpoint directory for island campaigns (``--islands``).
+ISLAND_CHECKPOINT_DIRNAME = "island-checkpoints"
 
 
 def resolve_cluster(name: str) -> Cluster:
@@ -209,6 +213,19 @@ def cmd_virus(args) -> int:
         seed=args.seed,
         workers=args.workers,
     )
+    island_config = None
+    if args.islands > 1:
+        from repro.ga.islands import IslandConfig
+
+        island_config = IslandConfig(
+            islands=args.islands,
+            topology=args.topology,
+            migration_interval=(
+                None
+                if args.migration_interval == 0
+                else args.migration_interval
+            ),
+        )
     out_dir = Path(args.out) if args.out else None
     log, log_name = _open_event_log(args)
     manifest = RunManifest.create(
@@ -216,7 +233,17 @@ def cmd_virus(args) -> int:
     )
     checkpoint_path = args.checkpoint
     if checkpoint_path is None and out_dir is not None:
-        checkpoint_path = out_dir / CHECKPOINT_FILENAME
+        checkpoint_path = (
+            out_dir / ISLAND_CHECKPOINT_DIRNAME
+            if island_config is not None
+            else out_dir / CHECKPOINT_FILENAME
+        )
+    if island_config is not None:
+        manifest.extra["islands"] = {
+            "islands": island_config.islands,
+            "topology": island_config.topology,
+            "migration_interval": island_config.migration_interval,
+        }
     fault_injector = None
     if args.fault_plan:
         from repro.faults import FaultInjector, load_fault_plan
@@ -235,11 +262,14 @@ def cmd_virus(args) -> int:
         seed=args.seed,
     )
     manifest.extra["max_retries"] = args.max_retries
-    resume = (
-        load_checkpoint(args.resume, event_log=log)
-        if args.resume
-        else None
-    )
+    resume = None
+    if args.resume:
+        if island_config is not None:
+            from repro.ga.islands import load_island_checkpoint
+
+            resume = load_island_checkpoint(args.resume, event_log=log)
+        else:
+            resume = load_checkpoint(args.resume, event_log=log)
     if resume is not None:
         manifest.extra["resumed_from"] = str(args.resume)
         manifest.extra["resumed_at_generation"] = resume.generation
@@ -255,6 +285,7 @@ def cmd_virus(args) -> int:
         checkpoint_every=args.checkpoint_every,
         retry_policy=retry_policy,
         fault_injector=fault_injector,
+        island_config=island_config,
     )
 
     def progress(record):
@@ -448,8 +479,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--workers", type=int, default=1,
                    help="fitness evaluation processes (1 = serial)")
+    p.add_argument("--islands", type=int, default=1,
+                   help="shard the population across N islands "
+                        "(1 = single-population search)")
+    p.add_argument("--topology", choices=list(TOPOLOGIES),
+                   default="ring",
+                   help="island migration topology")
+    p.add_argument("--migration-interval", type=int, default=5,
+                   help="generations between champion migrations "
+                        "(0 = never migrate)")
     p.add_argument("--checkpoint", default=None,
-                   help="checkpoint file (default: <out>/checkpoint.json)")
+                   help="checkpoint file (default: <out>/checkpoint.json; "
+                        "with --islands a directory, default "
+                        "<out>/island-checkpoints)")
     p.add_argument("--checkpoint-every", type=int, default=5,
                    help="generations between checkpoints")
     p.add_argument("--fault-plan", default=None,

@@ -1,0 +1,153 @@
+"""Deterministic migration topologies for the island-model GA.
+
+An island campaign (:mod:`repro.ga.islands`) periodically exchanges
+champions between sub-populations.  This module defines *which*
+islands exchange (:func:`migration_links`) and *how* the exchange is
+applied to their populations (:func:`migrate`), both as pure functions
+of their inputs so that every (island count, topology) combination has
+exactly one migration outcome.
+
+Three classic topologies are supported:
+
+``ring``
+    Island ``i`` sends to island ``(i + 1) % K`` -- one emigrant out,
+    one immigrant in, per island per migration.
+``star``
+    The hub (lowest-numbered island) exchanges with every leaf: the
+    hub sends one emigrant to each leaf and receives one from each, so
+    champions spread in two hops instead of up to ``K - 1``.
+``all-to-all``
+    Every ordered pair exchanges; each island sends ``K - 1`` emigrants
+    and receives ``K - 1`` immigrants.
+
+Every topology is *balanced* -- each island's in-degree equals its
+out-degree -- which is what makes migration a pure permutation of the
+global genome multiset: no genome is duplicated, none is lost, and
+every island's population size is conserved.  The property suite
+(``tests/property/test_property_islands.py``) pins this for arbitrary
+(K, topology) drawn by hypothesis.
+
+Fault handling composes through ``exclude``: when an island is down,
+the topology is recomputed over the *alive* subset (ring of survivors,
+hub re-elected as the lowest alive index), so the balance invariant --
+and therefore determinism of the retried migration -- survives
+failures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Sequence, Tuple, TypeVar
+
+#: Supported topology names, in CLI ``choices`` order.
+TOPOLOGIES: Tuple[str, ...] = ("ring", "star", "all-to-all")
+
+T = TypeVar("T")
+
+
+def migration_links(
+    islands: int,
+    topology: str,
+    exclude: FrozenSet[int] = frozenset(),
+) -> Tuple[Tuple[int, int], ...]:
+    """Directed ``(src, dst)`` migration links for one exchange.
+
+    The returned tuple is canonically sorted, so callers may apply the
+    links in order and obtain a deterministic exchange.  ``exclude``
+    removes dead islands: the topology is rebuilt over the alive
+    subset.  Fewer than two alive islands yields no links.
+    """
+    if islands < 1:
+        raise ValueError(f"islands must be >= 1, got {islands}")
+    if topology not in TOPOLOGIES:
+        raise ValueError(
+            f"unknown topology {topology!r}; expected one of {TOPOLOGIES}"
+        )
+    bad = [i for i in exclude if not 0 <= i < islands]
+    if bad:
+        raise ValueError(f"excluded islands out of range: {sorted(bad)}")
+    alive = [i for i in range(islands) if i not in exclude]
+    if len(alive) < 2:
+        return ()
+    links: List[Tuple[int, int]] = []
+    if topology == "ring":
+        for pos, src in enumerate(alive):
+            links.append((src, alive[(pos + 1) % len(alive)]))
+    elif topology == "star":
+        hub = alive[0]
+        for leaf in alive[1:]:
+            links.append((hub, leaf))
+            links.append((leaf, hub))
+    else:  # all-to-all
+        for src in alive:
+            for dst in alive:
+                if src != dst:
+                    links.append((src, dst))
+    return tuple(sorted(links))
+
+
+def migrate(
+    populations: Sequence[Sequence[T]],
+    links: Sequence[Tuple[int, int]],
+) -> List[List[T]]:
+    """Apply one champion exchange and return the new populations.
+
+    For each link ``(src, dst)`` -- processed in the given order --
+    the emigrant is the lowest not-yet-sent index of ``src``'s
+    population.  Index 0 is the island's reigning champion (the GA
+    engine's elitism places the previous generation's best at slot 0
+    of every bred population), so ring migration sends exactly the
+    champion, and higher-degree topologies send the next elites in
+    rank order without re-evaluating anything.
+
+    Emigrants are removed from their source and immigrants are placed
+    at the *front* of their destination (in link order), keeping the
+    exchange a pure permutation of the global multiset.  Balanced link
+    sets (everything :func:`migration_links` produces) therefore
+    conserve every island's population size.
+
+    Raises ``ValueError`` if a link references a missing island, a
+    source must send more emigrants than it has genomes, or the link
+    set is unbalanced for some island.
+    """
+    out_degree: Dict[int, int] = {}
+    in_degree: Dict[int, int] = {}
+    for src, dst in links:
+        for idx in (src, dst):
+            if not 0 <= idx < len(populations):
+                raise ValueError(
+                    f"link ({src}, {dst}) references island {idx}, but "
+                    f"only {len(populations)} populations were given"
+                )
+        if src == dst:
+            raise ValueError(f"self-link ({src}, {dst}) is not allowed")
+        out_degree[src] = out_degree.get(src, 0) + 1
+        in_degree[dst] = in_degree.get(dst, 0) + 1
+    for island in set(out_degree) | set(in_degree):
+        sends = out_degree.get(island, 0)
+        receives = in_degree.get(island, 0)
+        if sends != receives:
+            raise ValueError(
+                f"unbalanced link set: island {island} sends {sends} "
+                f"but receives {receives}"
+            )
+        if sends > len(populations[island]):
+            raise ValueError(
+                f"island {island} must send {sends} emigrants but has "
+                f"only {len(populations[island])} genomes"
+            )
+    sent: Dict[int, int] = {}
+    emigrants: List[T] = []
+    for src, _dst in links:
+        emigrants.append(populations[src][sent.get(src, 0)])
+        sent[src] = sent.get(src, 0) + 1
+    result: List[List[T]] = [
+        list(pop[sent.get(i, 0):]) for i, pop in enumerate(populations)
+    ]
+    # Immigrants land at the front of the destination, in link order:
+    # slot 0 of a post-migration population is the first immigrant.
+    arrivals: Dict[int, List[T]] = {}
+    for (src, dst), genome in zip(links, emigrants):
+        arrivals.setdefault(dst, []).append(genome)
+    for dst, incoming in arrivals.items():
+        result[dst] = incoming + result[dst]
+    return result

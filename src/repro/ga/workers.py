@@ -436,7 +436,29 @@ class PersistentWorkerPool:
                 outcomes=outcomes,
             )
             self._reap(assigned, outcomes)
+        self._await_respawns()
         return outcomes
+
+    def _await_respawns(self) -> None:
+        """Block until in-flight respawn warm-ups finish (or die).
+
+        The last shard can complete on a surviving worker while a
+        replacement is still warming up; without this wait the
+        replacement's ``worker_warmup`` event would race pool close
+        and the next dispatch would start against a half-warm pool.
+        A replacement that dies during warm-up is retired, not raised:
+        the caller's degrade policy owns that decision.
+        """
+        deadline = time.monotonic() + self._start_timeout_s
+        while any(
+            h.state == "spawning" and h.alive for h in self._handles
+        ):
+            self._drain_one(timeout=_POLL_S, assigned={})
+            for handle in self._handles:
+                if handle.state == "spawning" and not handle.alive:
+                    self._mark_dead(handle)
+            if time.monotonic() > deadline:  # pragma: no cover
+                break
 
     def _assign(
         self,

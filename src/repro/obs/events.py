@@ -35,6 +35,19 @@ and the GA engine folds each worker's latest cache counters into
 ``generation_end`` as ``worker_cache_stats`` (worker id keyed), so
 per-worker cache-hit rates are readable straight off the run log.
 
+The island-model GA (:mod:`repro.ga.islands`) adds the distributed
+vocabulary: ``island_run_start``/``island_run_end`` bracket the whole
+campaign (island count, topology, migration interval),
+``ga_segment_start``/``ga_segment_end`` bracket each island's
+generation segment between migration boundaries,
+``migration_start``/``migration_end`` bracket a champion exchange
+(epoch boundary generation plus the resolved ``(src, dst)`` link
+list), and ``island_recovered`` marks an island that died mid-segment
+and was rebuilt from its newest surviving checkpoint.  Every record an
+island emits carries an ``island`` index field, so one interleaved log
+remains attributable; the log itself is emit-locked because island
+segments run on concurrent threads.
+
 The determinism audit (:mod:`repro.audit`) contributes two more:
 ``audit_violation`` (a runtime invariant broke -- payload carries the
 violation ``kind``, ``site`` and message; the matching typed
@@ -47,6 +60,7 @@ from __future__ import annotations
 
 import json
 import sys
+import threading
 import time
 from pathlib import Path
 from typing import IO, Any, Dict, Iterable, List, Optional, Union
@@ -144,6 +158,9 @@ class EventLog:
         self._sinks = list(sinks)
         self._seq = 0
         self._t0 = time.monotonic()
+        # Island segments emit from concurrent threads; the lock keeps
+        # sequence numbers unique and sink writes whole-record atomic.
+        self._lock = threading.Lock()
 
     @classmethod
     def to_file(cls, path: Union[str, Path]) -> "EventLog":
@@ -161,18 +178,19 @@ class EventLog:
         """Emit one event; payload values may be numpy types."""
         if not self._sinks:
             return
-        record: Dict[str, Any] = {
-            "v": EVENT_SCHEMA_VERSION,
-            "seq": self._seq,
-            "t": round(time.monotonic() - self._t0, 6),
-            "wall": time.time(),
-            "event": event,
-        }
-        for key, value in payload.items():
-            record[key] = jsonable(value)
-        self._seq += 1
-        for sink in self._sinks:
-            sink.emit(record)
+        clean = {key: jsonable(value) for key, value in payload.items()}
+        with self._lock:
+            record: Dict[str, Any] = {
+                "v": EVENT_SCHEMA_VERSION,
+                "seq": self._seq,
+                "t": round(time.monotonic() - self._t0, 6),
+                "wall": time.time(),
+                "event": event,
+            }
+            record.update(clean)
+            self._seq += 1
+            for sink in self._sinks:
+                sink.emit(record)
 
     def close(self) -> None:
         for sink in self._sinks:

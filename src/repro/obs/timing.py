@@ -10,14 +10,18 @@ their bodies in :func:`kernel_section`.  When no collector is active
 total seconds, which the GA engine folds into its per-generation
 ``kernel_timings`` events.
 
-Collection is process-local: with ``GAConfig.workers > 1`` the kernels
-run in worker processes and the parent's collector only sees the
-re-measurement of champions.  Timings are observability, not a
+Collection is process-local *and thread-local*: with
+``GAConfig.workers > 1`` the kernels run in worker processes and the
+parent's collector only sees the re-measurement of champions, while
+the island engine (:mod:`repro.ga.islands`) runs one ``GAEngine`` per
+thread, each with its own active collector -- a module global would
+cross-attribute their timings.  Timings are observability, not a
 determinism input -- they never feed back into the computation.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 from typing import Dict, Iterator, Optional
@@ -52,9 +56,14 @@ class KernelTimings:
         return bool(self.total_s)
 
 
-# The active collector; kernels check this one global per call, so the
-# disabled path costs a load and a comparison.
-_ACTIVE: Optional[KernelTimings] = None
+# The active collector, one slot per thread; kernels check this one
+# thread-local per call, so the disabled path costs a lookup and a
+# comparison, and concurrent island threads never share a collector.
+_STATE = threading.local()
+
+
+def _active() -> Optional[KernelTimings]:
+    return getattr(_STATE, "active", None)
 
 
 @contextmanager
@@ -62,19 +71,18 @@ def collect_kernel_timings(
     collector: Optional[KernelTimings] = None,
 ) -> Iterator[KernelTimings]:
     """Activate (or reuse) a collector for the duration of the block."""
-    global _ACTIVE
-    previous = _ACTIVE
-    _ACTIVE = collector if collector is not None else KernelTimings()
+    previous = _active()
+    _STATE.active = collector if collector is not None else KernelTimings()
     try:
-        yield _ACTIVE
+        yield _STATE.active
     finally:
-        _ACTIVE = previous
+        _STATE.active = previous
 
 
 @contextmanager
 def kernel_section(name: str) -> Iterator[None]:
     """Time one kernel invocation into the active collector, if any."""
-    collector = _ACTIVE
+    collector = _active()
     if collector is None:
         yield
         return
@@ -96,7 +104,7 @@ def timed_kernel(name: str):
     def decorate(fn):
         @functools.wraps(fn)
         def wrapper(*args, **kwargs):
-            collector = _ACTIVE
+            collector = _active()
             if collector is None:
                 return fn(*args, **kwargs)
             start = time.monotonic()

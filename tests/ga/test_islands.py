@@ -1,0 +1,532 @@
+"""Island-model GA determinism suite.
+
+Pins the distribution contract of :mod:`repro.ga.islands`:
+
+* same seed => byte-identical histories for islands in {1, 2, 4};
+* migration off => every island bit-identical to an independent
+  seeded :class:`GAEngine` run;
+* worker pools don't change results (workers=2 == workers=1);
+* checkpoint/resume across migration boundaries is bit-identical;
+* a crashed island recovers from its checkpoint and the campaign
+  stays byte-identical to a fault-free run.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.faults.errors import FaultError
+from repro.faults.plan import FaultInjector, FaultPlan, FaultSpec
+from repro.ga.engine import GAConfig, GAEngine
+from repro.ga.islands import (
+    IslandConfig,
+    IslandGAEngine,
+    island_population_sizes,
+    island_seed,
+    load_island_checkpoint,
+    save_island_checkpoint,
+    segment_ends,
+)
+from repro.ga.topology import TOPOLOGIES, migrate, migration_links
+from repro.obs.events import EventLog, MemorySink
+
+from tests.ga.test_checkpoint import (
+    GenomeHashFitness,
+    NoisyFitness,
+    _isa,
+)
+
+
+@pytest.fixture(scope="module")
+def isa():
+    return _isa()
+
+
+CONFIG = GAConfig(
+    population_size=12, generations=6, loop_length=5, seed=42
+)
+
+
+def _histories(result):
+    """Fully comparable per-island history fingerprints."""
+    return [
+        [
+            (
+                r.generation,
+                r.best.score,
+                r.mean_score,
+                r.best_program.genome(),
+                r.best_program.name,
+            )
+            for r in island.history
+        ]
+        for island in result.results
+    ]
+
+
+# ----------------------------------------------------------------------
+# topology unit tests
+# ----------------------------------------------------------------------
+class TestTopology:
+    def test_ring_links(self):
+        assert migration_links(3, "ring") == ((0, 1), (1, 2), (2, 0))
+
+    def test_star_links(self):
+        assert migration_links(3, "star") == (
+            (0, 1),
+            (0, 2),
+            (1, 0),
+            (2, 0),
+        )
+
+    def test_all_to_all_links(self):
+        links = migration_links(3, "all-to-all")
+        assert len(links) == 6
+        assert len(set(links)) == 6
+
+    def test_single_island_has_no_links(self):
+        for topology in TOPOLOGIES:
+            assert migration_links(1, topology) == ()
+
+    def test_exclusion_rebuilds_topology_over_alive_subset(self):
+        # With island 1 down, the ring closes over {0, 2}.
+        assert migration_links(3, "ring", frozenset({1})) == (
+            (0, 2),
+            (2, 0),
+        )
+        # With the hub down, the star re-elects the lowest alive.
+        assert migration_links(3, "star", frozenset({0})) == (
+            (1, 2),
+            (2, 1),
+        )
+
+    def test_exclusion_leaves_links_balanced(self):
+        for topology in TOPOLOGIES:
+            links = migration_links(5, topology, frozenset({2}))
+            outs = {}
+            ins = {}
+            for s, d in links:
+                outs[s] = outs.get(s, 0) + 1
+                ins[d] = ins.get(d, 0) + 1
+            assert outs == ins
+            assert 2 not in outs and 2 not in ins
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ValueError, match="unknown topology"):
+            migration_links(2, "mesh")
+
+    def test_migrate_is_an_exchange(self):
+        populations = [["a0", "a1", "a2"], ["b0", "b1"], ["c0", "c1"]]
+        links = migration_links(3, "ring")
+        exchanged = migrate(populations, links)
+        # Sizes conserved, champions moved along the ring, immigrants
+        # land at the front.
+        assert [len(p) for p in exchanged] == [3, 2, 2]
+        assert exchanged[1][0] == "a0"
+        assert exchanged[2][0] == "b0"
+        assert exchanged[0][0] == "c0"
+        flat = sorted(x for p in exchanged for x in p)
+        assert flat == sorted(x for p in populations for x in p)
+
+    def test_migrate_rejects_unbalanced_links(self):
+        with pytest.raises(ValueError, match="unbalanced"):
+            migrate([["a"], ["b"]], [(0, 1)])
+
+    def test_migrate_rejects_oversubscribed_source(self):
+        links = [(0, 1), (0, 2), (1, 0), (2, 0)]
+        with pytest.raises(ValueError, match="emigrants"):
+            migrate([["a"], ["b", "x"], ["c", "y"]], links)
+
+
+# ----------------------------------------------------------------------
+# seeding / sizing helpers
+# ----------------------------------------------------------------------
+class TestDerivation:
+    def test_island_zero_keeps_campaign_seed(self):
+        assert island_seed(7, 0) == 7
+
+    def test_island_seeds_are_decorrelated_and_stable(self):
+        seeds = [island_seed(7, i) for i in range(4)]
+        assert len(set(seeds)) == 4
+        assert seeds == [island_seed(7, i) for i in range(4)]
+
+    def test_population_split_larger_first(self):
+        assert island_population_sizes(12, 4) == (3, 3, 3, 3)
+        assert island_population_sizes(13, 4) == (4, 3, 3, 3)
+
+    def test_population_split_rejects_starved_islands(self):
+        with pytest.raises(ValueError, match="cannot be split"):
+            island_population_sizes(5, 4)
+
+    def test_segment_ends_are_horizon_independent(self):
+        assert segment_ends(0, 6, 2) == [2, 4, 6]
+        assert segment_ends(3, 6, 2) == [4, 6]
+        assert segment_ends(0, 6, None) == [6]
+        assert segment_ends(0, 5, 2) == [2, 4, 5]
+
+
+# ----------------------------------------------------------------------
+# determinism suite
+# ----------------------------------------------------------------------
+class TestIslandDeterminism:
+    @pytest.mark.parametrize("islands", [1, 2, 4])
+    def test_same_seed_byte_identical(self, isa, islands):
+        icfg = IslandConfig(islands=islands, migration_interval=2)
+        first = IslandGAEngine(NoisyFitness(), CONFIG, icfg).run(isa)
+        second = IslandGAEngine(NoisyFitness(), CONFIG, icfg).run(isa)
+        assert _histories(first) == _histories(second)
+
+    def test_single_island_equals_plain_engine(self, isa):
+        plain = GAEngine(GenomeHashFitness(), config=CONFIG).run(isa)
+        island = IslandGAEngine(
+            GenomeHashFitness(),
+            CONFIG,
+            IslandConfig(islands=1, migration_interval=None),
+        ).run(isa)
+        np.testing.assert_array_equal(
+            plain.score_series(), island.results[0].score_series()
+        )
+        assert (
+            plain.best_program.genome()
+            == island.best_program.genome()
+        )
+
+    @pytest.mark.parametrize("islands", [2, 4])
+    def test_migration_off_equals_independent_runs(self, isa, islands):
+        sizes = island_population_sizes(
+            CONFIG.population_size, islands
+        )
+        result = IslandGAEngine(
+            NoisyFitness(),
+            CONFIG,
+            IslandConfig(islands=islands, migration_interval=None),
+        ).run(isa)
+        for i in range(islands):
+            independent = GAEngine(
+                NoisyFitness(),
+                config=replace(
+                    CONFIG,
+                    population_size=sizes[i],
+                    seed=island_seed(CONFIG.seed, i),
+                ),
+            ).run(isa)
+            np.testing.assert_array_equal(
+                independent.score_series(),
+                result.results[i].score_series(),
+            )
+            assert independent.evaluations == (
+                result.results[i].evaluations
+            )
+
+    @pytest.mark.parametrize("topology", TOPOLOGIES)
+    def test_topologies_reproducible_and_conserving(self, isa, topology):
+        icfg = IslandConfig(
+            islands=3, topology=topology, migration_interval=2
+        )
+        first = IslandGAEngine(GenomeHashFitness(), CONFIG, icfg).run(
+            isa
+        )
+        second = IslandGAEngine(GenomeHashFitness(), CONFIG, icfg).run(
+            isa
+        )
+        assert _histories(first) == _histories(second)
+        assert [len(r.history) for r in first.results] == [
+            CONFIG.generations
+        ] * 3
+
+    def test_sequential_matches_concurrent(self, isa):
+        base = IslandConfig(islands=3, migration_interval=2)
+        threaded = IslandGAEngine(NoisyFitness(), CONFIG, base).run(isa)
+        sequential = IslandGAEngine(
+            NoisyFitness(), CONFIG, replace(base, concurrent=False)
+        ).run(isa)
+        assert _histories(threaded) == _histories(sequential)
+
+    def test_workers_do_not_change_results(self, isa):
+        from tests.ga.test_parallel import PureFitness
+
+        icfg = IslandConfig(islands=2, migration_interval=1)
+        serial = IslandGAEngine(
+            PureFitness(),
+            replace(CONFIG, population_size=8, generations=3),
+            icfg,
+        ).run(isa)
+        parallel = IslandGAEngine(
+            PureFitness(),
+            replace(
+                CONFIG, population_size=8, generations=3, workers=2
+            ),
+            icfg,
+        ).run(isa)
+        assert _histories(serial) == _histories(parallel)
+
+
+# ----------------------------------------------------------------------
+# checkpoint / resume
+# ----------------------------------------------------------------------
+class TestIslandCheckpointResume:
+    @pytest.mark.parametrize("truncate_at", [3, 4, 5])
+    def test_resume_bit_identical(self, isa, tmp_path, truncate_at):
+        icfg = IslandConfig(islands=2, migration_interval=2)
+        full = IslandGAEngine(NoisyFitness(), CONFIG, icfg).run(isa)
+        directory = tmp_path / f"trunc{truncate_at}"
+        IslandGAEngine(
+            NoisyFitness(),
+            replace(CONFIG, generations=truncate_at),
+            icfg,
+        ).run(isa, checkpoint_dir=directory, checkpoint_every=1)
+        resumed = IslandGAEngine(NoisyFitness(), CONFIG, icfg).run(
+            isa, resume=load_island_checkpoint(directory)
+        )
+        assert _histories(resumed) == _histories(full)
+
+    def test_checkpoint_round_trip(self, isa, tmp_path):
+        icfg = IslandConfig(islands=2, migration_interval=2)
+        IslandGAEngine(NoisyFitness(), CONFIG, icfg).run(
+            isa, checkpoint_dir=tmp_path, checkpoint_every=2
+        )
+        loaded = load_island_checkpoint(tmp_path)
+        assert loaded.island_config.islands == 2
+        assert loaded.island_config.migration_interval == 2
+        assert len(loaded.checkpoints) == 2
+        assert loaded.generation == CONFIG.generations
+        # Re-saving the loaded state reproduces the same files.
+        out = tmp_path / "resaved"
+        save_island_checkpoint(loaded, out)
+        again = load_island_checkpoint(out)
+        assert [c.generation for c in again.checkpoints] == [
+            c.generation for c in loaded.checkpoints
+        ]
+
+    def test_resume_rejects_mismatched_distribution(self, isa, tmp_path):
+        icfg = IslandConfig(islands=2, migration_interval=2)
+        IslandGAEngine(NoisyFitness(), CONFIG, icfg).run(
+            isa, checkpoint_dir=tmp_path, checkpoint_every=2
+        )
+        loaded = load_island_checkpoint(tmp_path)
+        other = IslandConfig(islands=2, migration_interval=3)
+        with pytest.raises(ValueError, match="does not match"):
+            IslandGAEngine(NoisyFitness(), CONFIG, other).run(
+                isa, resume=loaded
+            )
+
+
+# ----------------------------------------------------------------------
+# crash -> recover
+# ----------------------------------------------------------------------
+class TestIslandRecovery:
+    def test_crash_recover_byte_identical(self, isa, tmp_path):
+        icfg = IslandConfig(islands=2, migration_interval=2)
+        clean = IslandGAEngine(NoisyFitness(), CONFIG, icfg).run(isa)
+        # Kill island 1 at its second segment attempt; the engine must
+        # restore it from checkpoint state and continue unchanged.
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(
+                    site="island.1.segment",
+                    kind="worker_crash",
+                    at_visit=1,
+                ),
+            )
+        )
+        sink = MemorySink()
+        crashed = IslandGAEngine(
+            NoisyFitness(),
+            CONFIG,
+            icfg,
+            fault_injector=FaultInjector(plan),
+        ).run(
+            isa,
+            checkpoint_dir=tmp_path,
+            checkpoint_every=1,
+            event_log=EventLog([sink]),
+        )
+        recoveries = sink.events("island_recovered")
+        assert len(recoveries) == 1
+        assert recoveries[0]["island"] == 1
+        assert recoveries[0]["generation"] == 2
+        assert _histories(crashed) == _histories(clean)
+
+    def test_mid_segment_crash_recovers_from_disk(self, isa, tmp_path):
+        """A fault after an intra-segment periodic save resumes from
+        the rotated disk checkpoint, not the boundary state."""
+        icfg = IslandConfig(islands=2, migration_interval=3)
+        clean = IslandGAEngine(NoisyFitness(), CONFIG, icfg).run(isa)
+        # Each island saves every generation; its second save (gen 2,
+        # inside the first segment) dies before touching the disk, so
+        # the newest surviving state is the gen-1 rotated file -- newer
+        # than the (empty) segment-boundary state.
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(
+                    site="checkpoint.save",
+                    kind="stage_timeout",
+                    at_visit=1,
+                ),
+            )
+        )
+        sink = MemorySink()
+        crashed = IslandGAEngine(
+            NoisyFitness(),
+            CONFIG,
+            icfg,
+            fault_injector=FaultInjector(plan),
+        ).run(
+            isa,
+            checkpoint_dir=tmp_path,
+            checkpoint_every=1,
+            event_log=EventLog([sink]),
+        )
+        recoveries = sink.events("island_recovered")
+        # Both islands carry the same plan replica, so both hit it.
+        assert {r["island"] for r in recoveries} == {0, 1}
+        assert all(
+            r["source"] == "disk-checkpoint" for r in recoveries
+        )
+        assert _histories(crashed) == _histories(clean)
+
+    def test_restart_budget_exhaustion_raises(self, isa):
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(
+                    site="island.0.segment",
+                    kind="worker_crash",
+                    at_visit=0,
+                    times=10,
+                ),
+            )
+        )
+        engine = IslandGAEngine(
+            GenomeHashFitness(),
+            CONFIG,
+            IslandConfig(
+                islands=2,
+                migration_interval=None,
+                max_island_restarts=1,
+            ),
+            fault_injector=FaultInjector(plan),
+        )
+        with pytest.raises(FaultError):
+            engine.run(isa)
+
+    def test_migration_events_emitted(self, isa):
+        sink = MemorySink()
+        IslandGAEngine(
+            GenomeHashFitness(),
+            CONFIG,
+            IslandConfig(islands=2, migration_interval=2),
+        ).run(isa, event_log=EventLog([sink]))
+        starts = sink.events("migration_start")
+        ends = sink.events("migration_end")
+        assert [e["generation"] for e in starts] == [2, 4, 6]
+        assert len(starts) == len(ends)
+        assert starts[0]["links"] == [[0, 1], [1, 0]]
+        assert sink.events("island_run_start")
+        assert sink.events("island_run_end")
+        # Per-island telemetry is attributable through the island tag.
+        islands_seen = {
+            e["island"] for e in sink.events("generation_end")
+        }
+        assert islands_seen == {0, 1}
+
+
+# ----------------------------------------------------------------------
+# tie-breaks across merged island histories
+# ----------------------------------------------------------------------
+class TestBestTieBreaks:
+    def test_ga_result_best_breaks_ties_to_earliest_generation(
+        self, isa
+    ):
+        from repro.ga.engine import GAResult
+
+        history = [
+            _record(isa, 0, 0.5),
+            _record(isa, 1, 0.9),
+            _record(isa, 2, 0.9),
+        ]
+        result = GAResult(
+            config=CONFIG, history=history, evaluations=0
+        )
+        assert result.best.generation == 1
+
+    def test_merged_ties_break_across_islands(self, isa):
+        """Two islands with an equal-score generation: the merged
+        history and the campaign best must both pick the lower
+        island's record."""
+        from repro.ga.engine import GAResult
+        from repro.ga.islands import IslandGAResult
+
+        histories = [
+            [
+                _record(isa, 0, 0.3, name="i0g0"),
+                _record(isa, 1, 0.9, name="i0g1"),
+            ],
+            [
+                _record(isa, 0, 0.9, name="i1g0"),
+                _record(isa, 1, 0.2, name="i1g1"),
+            ],
+        ]
+        results = tuple(
+            GAResult(config=CONFIG, history=h, evaluations=0)
+            for h in histories
+        )
+        outcome = IslandGAResult(
+            config=CONFIG,
+            island_config=IslandConfig(islands=2),
+            results=results,
+        )
+        # Earliest generation wins across islands (gen 0 of island 1
+        # vs gen 1 of island 0)...
+        assert outcome.best_island == 1
+        assert outcome.best.generation == 0
+        merged = outcome.merged()
+        # ...and per-generation merge prefers the lower island on ties.
+        assert merged.history[0].best_program.name == "i1g0"
+        assert merged.history[1].best_program.name == "i0g1"
+        assert merged.best.generation == 0
+        assert merged.best.best_program.name == "i1g0"
+
+    def test_equal_scores_same_generation_pick_lowest_island(self, isa):
+        from repro.ga.engine import GAResult
+        from repro.ga.islands import IslandGAResult
+
+        histories = [
+            [_record(isa, 0, 0.7, name="a")],
+            [_record(isa, 0, 0.7, name="b")],
+        ]
+        results = tuple(
+            GAResult(config=CONFIG, history=h, evaluations=0)
+            for h in histories
+        )
+        outcome = IslandGAResult(
+            config=CONFIG,
+            island_config=IslandConfig(islands=2),
+            results=results,
+        )
+        assert outcome.best_island == 0
+        assert outcome.merged().history[0].best_program.name == "a"
+
+
+def _record(isa, generation, score, name="prog"):
+    """A minimal GenerationRecord for tie-break unit tests."""
+    from repro.cpu.program import random_program
+    from repro.ga.engine import GenerationRecord
+    from repro.ga.fitness import FitnessEvaluation
+
+    program = random_program(
+        isa, 1, np.random.default_rng(0), name=name
+    )
+    return GenerationRecord(
+        generation=generation,
+        best_program=program,
+        best=FitnessEvaluation(
+            score=score,
+            dominant_frequency_hz=1e8,
+            max_droop_v=0.01,
+            peak_to_peak_v=0.02,
+            ipc=1.0,
+            loop_frequency_hz=1e7,
+        ),
+        mean_score=score,
+    )

@@ -1,0 +1,163 @@
+"""Property-based invariants of island migration.
+
+Migration must be a *permutation-equivariant exchange* of the global
+genome multiset for every island count, topology and link set
+hypothesis can draw:
+
+- conservation: no genome is duplicated or lost -- the multiset of
+  all genomes across islands is exactly permuted;
+- size conservation: every island's population size is unchanged
+  (the balanced in-degree == out-degree property of every topology);
+- identity: an empty link set (one island, or everything excluded)
+  leaves every population untouched;
+- exclusion: a dead island's population is never read or written.
+"""
+
+from collections import Counter
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ga.topology import TOPOLOGIES, migrate, migration_links
+
+islands_counts = st.integers(min_value=1, max_value=6)
+topologies = st.sampled_from(TOPOLOGIES)
+intervals = st.one_of(
+    st.none(), st.integers(min_value=1, max_value=10)
+)
+
+
+def _populations(islands: int, sizes) -> list:
+    """Synthetic populations with globally unique genome labels."""
+    return [
+        [f"i{i}g{j}" for j in range(sizes[i])] for i in range(islands)
+    ]
+
+
+@st.composite
+def island_worlds(draw):
+    """(populations, topology) with sizes large enough for any
+    topology's out-degree (all-to-all needs K-1 per island)."""
+    islands = draw(islands_counts)
+    topology = draw(topologies)
+    floor = max(2, islands - 1)
+    sizes = [
+        draw(st.integers(min_value=floor, max_value=floor + 4))
+        for _ in range(islands)
+    ]
+    return _populations(islands, sizes), topology
+
+
+@settings(max_examples=60, deadline=None)
+@given(world=island_worlds())
+def test_migration_conserves_the_global_multiset(world):
+    populations, topology = world
+    links = migration_links(len(populations), topology)
+    exchanged = migrate(populations, links)
+    before = Counter(g for pop in populations for g in pop)
+    after = Counter(g for pop in exchanged for g in pop)
+    assert before == after
+
+
+@settings(max_examples=60, deadline=None)
+@given(world=island_worlds())
+def test_migration_conserves_island_sizes(world):
+    populations, topology = world
+    links = migration_links(len(populations), topology)
+    exchanged = migrate(populations, links)
+    assert [len(p) for p in exchanged] == [len(p) for p in populations]
+
+
+@settings(max_examples=60, deadline=None)
+@given(world=island_worlds())
+def test_migration_is_deterministic(world):
+    populations, topology = world
+    links = migration_links(len(populations), topology)
+    assert migrate(populations, links) == migrate(populations, links)
+    # ...and the link set itself is a pure function of (K, topology).
+    assert links == migration_links(len(populations), topology)
+
+
+@settings(max_examples=60, deadline=None)
+@given(world=island_worlds())
+def test_empty_links_are_identity(world):
+    populations, _ = world
+    assert migrate(populations, ()) == [list(p) for p in populations]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    world=island_worlds(),
+    data=st.data(),
+)
+def test_excluded_islands_are_untouched(world, data):
+    populations, topology = world
+    islands = len(populations)
+    excluded = frozenset(
+        data.draw(
+            st.sets(
+                st.integers(min_value=0, max_value=islands - 1),
+                max_size=islands,
+            )
+        )
+    )
+    links = migration_links(islands, topology, exclude=excluded)
+    exchanged = migrate(populations, links)
+    for i in excluded:
+        assert exchanged[i] == list(populations[i])
+    before = Counter(g for pop in populations for g in pop)
+    after = Counter(g for pop in exchanged for g in pop)
+    assert before == after
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    islands=st.integers(min_value=1, max_value=5),
+    topology=topologies,
+)
+def test_links_are_balanced_and_canonical(islands, topology):
+    links = migration_links(islands, topology)
+    outs = Counter(s for s, _ in links)
+    ins = Counter(d for _, d in links)
+    assert outs == ins
+    assert list(links) == sorted(links)
+    assert all(s != d for s, d in links)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    total=st.integers(min_value=2, max_value=64),
+    islands=st.integers(min_value=1, max_value=8),
+)
+def test_population_split_conserves_total(total, islands):
+    from repro.ga.islands import island_population_sizes
+
+    if total < 2 * islands:
+        return  # rejected split, covered by the unit suite
+    sizes = island_population_sizes(total, islands)
+    assert sum(sizes) == total
+    assert max(sizes) - min(sizes) <= 1
+    assert list(sizes) == sorted(sizes, reverse=True)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    start=st.integers(min_value=0, max_value=20),
+    extra=st.integers(min_value=1, max_value=20),
+    interval=intervals,
+)
+def test_segment_ends_cover_horizon_and_align(start, extra, interval):
+    from repro.ga.islands import segment_ends
+
+    total = start + extra
+    ends = segment_ends(start, total, interval)
+    assert ends[-1] == total
+    assert all(a < b for a, b in zip(ends, ends[1:]))
+    if interval is not None:
+        # Every non-final boundary is a migration point, and the
+        # boundaries are horizon-independent: a run truncated at any
+        # boundary sees the same earlier boundaries.
+        assert all(e % interval == 0 for e in ends[:-1])
+        for cut in ends[:-1]:
+            assert segment_ends(start, cut, interval) + segment_ends(
+                cut, total, interval
+            ) == ends

@@ -208,6 +208,76 @@ class TestResumeFlow:
             main(VIRUS_ARGS + ["--resume", str(tmp_path / "nope.json")])
 
 
+class TestIslandFlow:
+    ISLAND_ARGS = VIRUS_ARGS + [
+        "--islands", "2", "--migration-interval", "1",
+    ]
+
+    def test_island_run_archives_manifest_and_checkpoints(
+        self, capsys, tmp_path
+    ):
+        assert main(self.ISLAND_ARGS + ["--out", str(tmp_path)]) == 0
+        capsys.readouterr()
+        manifest = RunManifest.load(tmp_path)
+        assert manifest.extra["islands"] == {
+            "islands": 2, "topology": "ring", "migration_interval": 1,
+        }
+        ckpt_dir = tmp_path / "island-checkpoints"
+        assert (ckpt_dir / "islands.json").exists()
+        assert (ckpt_dir / "island-00.json").exists()
+        assert (ckpt_dir / "island-01.json").exists()
+        events = read_jsonl(tmp_path / manifest.event_log)
+        names = [e["event"] for e in events]
+        assert "island_run_start" in names
+        assert "migration_start" in names
+        assert "island_run_end" in names
+
+    def test_interrupted_island_run_resumes_identically(
+        self, capsys, tmp_path
+    ):
+        full_dir = tmp_path / "full"
+        part_dir = tmp_path / "part"
+        assert main(self.ISLAND_ARGS + ["--out", str(full_dir)]) == 0
+        # truncated campaign: two of three generations
+        assert main(
+            [
+                "virus", "--platform", "a53",
+                "--population", "6", "--generations", "2",
+                "--loop-length", "6",
+                "--islands", "2", "--migration-interval", "1",
+                "--out", str(part_dir),
+            ]
+        ) == 0
+        ckpt_dir = part_dir / "island-checkpoints"
+        assert (ckpt_dir / "islands.json").exists()
+        assert main(
+            self.ISLAND_ARGS
+            + ["--out", str(part_dir), "--resume", str(ckpt_dir)]
+        ) == 0
+        capsys.readouterr()
+
+        name = "cortex-a53-em-amplitude.summary.json"
+        full = (full_dir / name).read_text()
+        resumed = (part_dir / name).read_text()
+        assert resumed == full  # byte-identical continuation
+
+        manifest = RunManifest.load(part_dir)
+        assert manifest.extra["resumed_from"] == str(ckpt_dir)
+
+    def test_island_run_identical_under_audit(self, capsys, tmp_path):
+        plain_dir = tmp_path / "plain"
+        audit_dir = tmp_path / "audit"
+        assert main(self.ISLAND_ARGS + ["--out", str(plain_dir)]) == 0
+        assert main(
+            self.ISLAND_ARGS + ["--out", str(audit_dir), "--audit"]
+        ) == 0
+        capsys.readouterr()
+        name = "cortex-a53-em-amplitude.summary.json"
+        plain = (plain_dir / name).read_text()
+        audited = (audit_dir / name).read_text()
+        assert audited == plain
+
+
 class TestFaultPlanFlow:
     @staticmethod
     def _plan(tmp_path, specs):
