@@ -21,11 +21,15 @@ state-keyed entries themselves, which remain valid for their own key.
 Identity keying: entries tied to a particular live object (a cluster,
 an analyzer) are keyed by a *stable token*, never by ``id()``.
 Clusters carry a process-wide monotonic ``Cluster.uid``; analyzers are
-assigned a session-local token by :meth:`SimulationSession._analyzer_token`,
-which holds a strong reference so the token can never be re-issued to
-a different object.  CPython reuses addresses after garbage
-collection, so an ``id()``-derived key could silently serve a dead
-object's cached entries to a newly allocated one (audit rule R3).
+assigned a session-local token by :meth:`SimulationSession._analyzer_token`
+from a monotonic counter, registered through a weak reference so the
+registry stays bounded by the number of *live* analyzers (a long-lived
+service session sees many) while a live object's token can never be
+re-issued.  CPython reuses addresses after garbage collection, so a
+bare ``id()``-derived key could silently serve a dead object's cached
+entries to a newly allocated one (audit rule R3); the registry guards
+its address index with an identity check against the weakly-held
+object, so a reused address simply mints a fresh token.
 
 Every cache is FIFO-bounded (``max_executions`` for executions,
 ``max_grids`` for the derived-grid caches) so a long campaign cannot
@@ -40,8 +44,9 @@ corrupt a result.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field, replace
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -120,26 +125,48 @@ class SimulationSession:
         self._gains: Dict[Tuple, np.ndarray] = {}
         # (analyzer_token, settings, band) -> boolean bin mask
         self._band_masks: Dict[Tuple, np.ndarray] = {}
-        # Strong-reference identity registry: (analyzer, token) pairs.
-        self._analyzer_tokens: List[Tuple["SpectrumAnalyzer", int]] = []
+        # Weakref identity registry: id(analyzer) -> (weakref, token).
+        # Entries self-remove when their analyzer is collected, so the
+        # registry is bounded by the number of live analyzers.
+        self._analyzer_tokens: Dict[
+            int, Tuple["weakref.ref", int]
+        ] = {}
+        self._next_analyzer_token = 0
 
     # ------------------------------------------------------------------
     # identity + bounding helpers
     # ------------------------------------------------------------------
     def _analyzer_token(self, analyzer: "SpectrumAnalyzer") -> int:
-        """Session-stable identity token for an analyzer.
+        """Session-stable identity token for an analyzer, in O(1).
 
-        The registry holds a strong reference, so the token stays bound
-        to this exact object for the session's lifetime -- unlike
-        ``id()``, which CPython re-issues once the object is collected.
+        Tokens come from a monotonic counter, so a live object's token
+        can never be re-issued to another analyzer.  The address index
+        is only a fast lookup: a hit counts solely when the weakly-held
+        object *is* this analyzer, so a reused address (CPython
+        re-issues ``id()`` after GC, audit rule R3) mints a fresh token
+        instead of aliasing the dead object's entries.  The weakref
+        death callback deletes the entry, which keeps a long-lived
+        session -- a measurement service's lifetime profile -- from
+        accumulating one registry row per analyzer it ever saw.
         (SpectrumAnalyzer is an eq-but-unfrozen dataclass and therefore
         unhashable, so it cannot key a dict directly.)
         """
-        for obj, token in self._analyzer_tokens:
-            if obj is analyzer:
-                return token
-        token = len(self._analyzer_tokens)
-        self._analyzer_tokens.append((analyzer, token))
+        addr = id(analyzer)  # audit: ignore[R3]
+        entry = self._analyzer_tokens.get(addr)
+        if entry is not None and entry[0]() is analyzer:
+            return entry[1]
+        token = self._next_analyzer_token
+        self._next_analyzer_token += 1
+        registry = self._analyzer_tokens
+
+        def _drop(_ref, registry=registry, addr=addr, token=token):
+            # Only remove our own entry: a newer analyzer may already
+            # occupy this (reused) address slot.
+            current = registry.get(addr)
+            if current is not None and current[1] == token:
+                del registry[addr]
+
+        registry[addr] = (weakref.ref(analyzer, _drop), token)
         return token
 
     @staticmethod
@@ -380,7 +407,25 @@ class SimulationSession:
         analyzer: "SpectrumAnalyzer",
         band: Tuple[float, float],
     ) -> np.ndarray:
-        """Boolean mask of the analyzer bins inside ``band``."""
+        """Boolean mask of the analyzer bins inside ``band``.
+
+        Raises :class:`ValueError` for an inverted band
+        (``band[0] > band[1]``) or non-finite endpoints -- both would
+        otherwise yield an all-false mask that downstream code reads
+        as "no power in band", mirroring the
+        ``SpectrumTrace.power_at`` out-of-span contract.
+        """
+        lo, hi = float(band[0]), float(band[1])
+        if not (np.isfinite(lo) and np.isfinite(hi)):
+            raise ValueError(
+                f"band endpoints must be finite, got ({band[0]!r}, "
+                f"{band[1]!r})"
+            )
+        if lo > hi:
+            raise ValueError(
+                f"inverted band: {lo / 1e6:.3f} MHz > {hi / 1e6:.3f} "
+                f"MHz (need band[0] <= band[1])"
+            )
         key = (
             self._analyzer_token(analyzer),
             analyzer._settings_key(),

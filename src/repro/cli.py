@@ -264,12 +264,31 @@ def cmd_virus(args) -> int:
     manifest.extra["max_retries"] = args.max_retries
     resume = None
     if args.resume:
-        if island_config is not None:
-            from repro.ga.islands import load_island_checkpoint
+        from repro.faults.errors import CorruptArtifact
+        from repro.io.serialization import SerializationError
 
-            resume = load_island_checkpoint(args.resume, event_log=log)
-        else:
-            resume = load_checkpoint(args.resume, event_log=log)
+        try:
+            if island_config is not None:
+                from repro.ga.islands import load_island_checkpoint
+
+                resume = load_island_checkpoint(
+                    args.resume, event_log=log
+                )
+            else:
+                resume = load_checkpoint(args.resume, event_log=log)
+        except (
+            FileNotFoundError,
+            CorruptArtifact,
+            SerializationError,
+            OSError,
+            ValueError,
+        ) as exc:
+            print(
+                f"error: cannot resume from {args.resume}: {exc}",
+                file=sys.stderr,
+            )
+            log.close()
+            return 2
     if resume is not None:
         manifest.extra["resumed_from"] = str(args.resume)
         manifest.extra["resumed_at_generation"] = resume.generation
@@ -428,6 +447,50 @@ def cmd_provenance(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    """Run the measurement service HTTP front end until interrupted."""
+    import asyncio
+
+    from repro.service import MeasurementService, ServiceServer
+
+    log, _log_name = _open_event_log(args)
+
+    async def _serve() -> int:
+        service = MeasurementService(
+            seed=args.seed,
+            samples=args.samples,
+            max_pending_jobs=args.max_pending,
+            max_batch_items=args.max_batch_items,
+            rate_per_s=args.rate,
+            burst=args.burst,
+            default_timeout_s=args.timeout,
+            state_dir=Path(args.state_dir) if args.state_dir else None,
+            event_log=log,
+        )
+        await service.start()
+        server = ServiceServer(service, host=args.host, port=args.port)
+        await server.start()
+        print(
+            f"# serving on http://{server.host}:{server.port} "
+            f"(platforms: {', '.join(service.platforms)})",
+            file=sys.stderr,
+        )
+        try:
+            await asyncio.Event().wait()  # until KeyboardInterrupt
+        finally:
+            await server.close()
+            await service.close()
+        return 0
+
+    try:
+        return asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("# shutdown", file=sys.stderr)
+        return 0
+    finally:
+        log.close()
+
+
 # ---------------------------------------------------------------------------
 def _add_artifact_flags(parser) -> None:
     parser.add_argument("--out", default=None, help="artifact directory")
@@ -525,6 +588,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("path", help="artifact directory or run_manifest.json")
 
+    p = sub.add_parser(
+        "serve",
+        help="measurement-as-a-service HTTP front end "
+        "(async job batching over shared warm sessions)",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8423,
+                   help="TCP port (0 = OS-assigned)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="analyzer RNG seed per platform")
+    p.add_argument("--samples", type=int, default=10,
+                   help="default analyzer samples per measurement")
+    p.add_argument("--max-pending", type=int, default=64,
+                   help="pending-queue capacity before 429 rejections")
+    p.add_argument("--max-batch-items", type=int, default=256,
+                   help="coalesced chain-items budget per batch")
+    p.add_argument("--rate", type=float, default=None,
+                   help="per-tenant submissions/second "
+                        "(default: unlimited)")
+    p.add_argument("--burst", type=float, default=5.0,
+                   help="per-tenant token-bucket burst")
+    p.add_argument("--timeout", type=float, default=None,
+                   help="default job timeout in seconds")
+    p.add_argument("--state-dir", default=None,
+                   help="persist per-job result + RunManifest here")
+    p.add_argument("--events", default=None,
+                   help="event-log destination: a path, or '-' for "
+                        "stderr")
+    p.add_argument("--audit", action="store_true",
+                   help=argparse.SUPPRESS)
+    p.add_argument("--out", default=None, help=argparse.SUPPRESS)
+
     p = sub.add_parser("vmin", help="progressive-undervolting V_MIN test")
     p.add_argument("--platform", choices=PLATFORM_CHOICES, required=True)
     p.add_argument("--workloads", default="idle",
@@ -547,6 +642,7 @@ _COMMANDS = {
     "vmin": cmd_vmin,
     "report": cmd_report,
     "provenance": cmd_provenance,
+    "serve": cmd_serve,
 }
 
 

@@ -315,6 +315,15 @@ def load_island_checkpoint(
 
     directory = Path(directory)
     meta_path = directory / ISLAND_META_FILE
+    if not directory.is_dir():
+        raise FileNotFoundError(
+            f"no island checkpoint directory at {directory}"
+        )
+    if not meta_path.exists():
+        raise FileNotFoundError(
+            f"no island checkpoint in {directory} "
+            f"(missing {ISLAND_META_FILE})"
+        )
     meta = island_meta_from_dict(
         json.loads(meta_path.read_text(encoding="utf-8"))
     )

@@ -54,6 +54,19 @@ violation ``kind``, ``site`` and message; the matching typed
 :class:`~repro.audit.AuditViolation` is raised at the same moment) and
 ``audit_summary`` (end-of-run counters: shadow checks per cache,
 ledger stages verified, replays, violations).
+
+The measurement service (:mod:`repro.service`) speaks the job
+vocabulary: ``service_start``/``service_stop`` bracket the process
+(configuration, then final counters), ``service_listening`` reports
+the bound HTTP endpoint, ``job_submitted`` (job id, kind, tenant,
+queue depth) admits a job, ``job_rejected`` records load shedding
+(``reason`` is ``rate_limited`` or ``queue_full``), ``job_batched``
+marks a batch dispatch (batch id, member job ids, whether requests
+were actually coalesced) and ``job_done`` closes a job with its
+terminal status.  While a batch executes, every chain/GA event it
+produces is stamped with the ``batch`` id and the ``jobs`` list, so a
+shared-session run log still attributes each record to the client
+requests that caused it.
 """
 
 from __future__ import annotations

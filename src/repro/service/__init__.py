@@ -1,0 +1,70 @@
+"""Measurement-as-a-service: the async batching front end.
+
+Long-lived measurement infrastructure for many concurrent clients:
+submit ``measure`` / ``sweep`` / ``virus`` jobs over HTTP (or
+in-process), let the coalescer fold compatible requests into single
+batched chain runs on shared warm-cache sessions, and read results
+back -- bit-identical to sequential submission -- with provenance
+manifests persisted per job.  Start one with
+``python -m repro serve`` or embed :class:`MeasurementService`
+directly.
+"""
+
+from repro.service.client import HttpClient, InprocClient
+from repro.service.coalescer import Coalescer, CompatKey
+from repro.service.core import MeasurementService
+from repro.service.http import ServiceServer
+from repro.service.jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    JOB_KINDS,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+    TIMEOUT,
+    BadRequest,
+    Job,
+    JobCancelled,
+    JobTimeout,
+    MeasureSpec,
+    QueueFull,
+    RateLimited,
+    ServiceClosed,
+    ServiceError,
+    SweepSpec,
+    UnknownJob,
+    VirusSpec,
+)
+from repro.service.ratelimit import TenantRateLimiter, TokenBucket
+
+__all__ = [
+    "BadRequest",
+    "CANCELLED",
+    "Coalescer",
+    "CompatKey",
+    "DONE",
+    "FAILED",
+    "HttpClient",
+    "InprocClient",
+    "JOB_KINDS",
+    "Job",
+    "JobCancelled",
+    "JobTimeout",
+    "MeasureSpec",
+    "MeasurementService",
+    "QUEUED",
+    "QueueFull",
+    "RUNNING",
+    "RateLimited",
+    "ServiceClosed",
+    "ServiceError",
+    "ServiceServer",
+    "SweepSpec",
+    "TERMINAL_STATES",
+    "TIMEOUT",
+    "TenantRateLimiter",
+    "TokenBucket",
+    "UnknownJob",
+    "VirusSpec",
+]

@@ -1,0 +1,348 @@
+"""Job vocabulary of the measurement service.
+
+A job is one client request -- ``measure``, ``sweep`` or ``virus`` --
+described by a typed, JSON-round-trippable spec.  Specs are validated
+at submission (platform key, operating-point overrides, band shape),
+so a malformed request is rejected with :class:`BadRequest` before it
+can occupy queue capacity; jobs that pass validation move through the
+lifecycle ``queued -> running -> done`` (or ``failed`` / ``timeout`` /
+``cancelled``).
+
+Every service-level error carries an HTTP status so the stdlib front
+end (:mod:`repro.service.http`) can map exceptions to responses
+without a translation table of its own; the in-proc client surfaces
+the same exceptions directly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+JOB_KINDS = ("measure", "sweep", "virus")
+
+#: Lifecycle states (terminal: done, failed, timeout, cancelled).
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+TIMEOUT = "timeout"
+CANCELLED = "cancelled"
+TERMINAL_STATES = (DONE, FAILED, TIMEOUT, CANCELLED)
+
+
+# ---------------------------------------------------------------------------
+# errors
+# ---------------------------------------------------------------------------
+class ServiceError(Exception):
+    """Base service error; ``http_status`` maps it onto the wire."""
+
+    http_status = 500
+
+
+class BadRequest(ServiceError):
+    """Malformed or unsatisfiable job spec."""
+
+    http_status = 400
+
+
+class UnknownJob(ServiceError):
+    """Retrieval of a job id the service has no record of."""
+
+    http_status = 404
+
+
+class RateLimited(ServiceError):
+    """The tenant's token bucket is empty: back off and retry."""
+
+    http_status = 429
+
+    def __init__(self, tenant: str, retry_after_s: float):
+        self.tenant = tenant
+        self.retry_after_s = retry_after_s
+        super().__init__(
+            f"tenant {tenant!r} rate-limited; retry in "
+            f"{retry_after_s:.3f} s"
+        )
+
+
+class QueueFull(ServiceError):
+    """The pending queue is at capacity: shed load, don't buffer."""
+
+    http_status = 429
+
+    def __init__(self, depth: int):
+        self.depth = depth
+        super().__init__(
+            f"pending queue full ({depth} jobs); retry later"
+        )
+
+
+class JobTimeout(ServiceError):
+    """The job's deadline expired before a result was delivered."""
+
+    http_status = 408
+
+
+class JobCancelled(ServiceError):
+    """The job was cancelled before delivering a result."""
+
+    http_status = 409
+
+
+class ServiceClosed(ServiceError):
+    """Submission after shutdown began."""
+
+    http_status = 503
+
+
+# ---------------------------------------------------------------------------
+# specs
+# ---------------------------------------------------------------------------
+def _band_tuple(value: Any) -> Optional[Tuple[float, float]]:
+    if value is None:
+        return None
+    try:
+        lo, hi = float(value[0]), float(value[1])
+    except (TypeError, ValueError, IndexError) as exc:
+        raise BadRequest(f"band must be a (lo, hi) pair: {exc}") from exc
+    if not (np.isfinite(lo) and np.isfinite(hi)):
+        raise BadRequest(f"band endpoints must be finite, got {value!r}")
+    if lo > hi:
+        raise BadRequest(
+            f"inverted band: {lo} > {hi} (need band[0] <= band[1])"
+        )
+    return (lo, hi)
+
+
+@dataclass(frozen=True)
+class MeasureSpec:
+    """One EM measurement of a program on a platform.
+
+    ``program_seed`` selects a deterministic random loop program
+    (``None`` = the paper's canonical high/low probe); operating-point
+    fields override the cluster's nominal state per item, exactly like
+    :class:`repro.chain.OperatingPoint` -- the service never mutates
+    its clusters.
+    """
+
+    platform: str
+    program_seed: Optional[int] = None
+    program_length: int = 8
+    active_cores: Optional[int] = None
+    clock_hz: Optional[float] = None
+    voltage: Optional[float] = None
+    powered_cores: Optional[int] = None
+    band: Optional[Tuple[float, float]] = None
+    samples: Optional[int] = None
+
+    kind = "measure"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "platform": self.platform,
+            "program_seed": self.program_seed,
+            "program_length": self.program_length,
+            "active_cores": self.active_cores,
+            "clock_hz": self.clock_hz,
+            "voltage": self.voltage,
+            "powered_cores": self.powered_cores,
+            "band": list(self.band) if self.band else None,
+            "samples": self.samples,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "MeasureSpec":
+        try:
+            platform = data["platform"]
+        except (KeyError, TypeError) as exc:
+            raise BadRequest("measure spec needs a platform") from exc
+        return cls(
+            platform=platform,
+            program_seed=data.get("program_seed"),
+            program_length=int(data.get("program_length", 8)),
+            active_cores=data.get("active_cores"),
+            clock_hz=data.get("clock_hz"),
+            voltage=data.get("voltage"),
+            powered_cores=data.get("powered_cores"),
+            band=_band_tuple(data.get("band")),
+            samples=data.get("samples"),
+        )
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A clock-modulated resonance sweep (Section 5.3's fast probe).
+
+    ``clocks_hz`` defaults to every multiplier-reachable point of the
+    platform; ``powered_cores`` models the power-gating studies as a
+    per-item override (the live cluster is never gated).
+    """
+
+    platform: str
+    clocks_hz: Optional[Tuple[float, ...]] = None
+    active_cores: Optional[int] = None
+    powered_cores: Optional[int] = None
+    band: Optional[Tuple[float, float]] = None
+    samples: Optional[int] = None
+
+    kind = "sweep"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "platform": self.platform,
+            "clocks_hz": (
+                list(self.clocks_hz) if self.clocks_hz else None
+            ),
+            "active_cores": self.active_cores,
+            "powered_cores": self.powered_cores,
+            "band": list(self.band) if self.band else None,
+            "samples": self.samples,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SweepSpec":
+        try:
+            platform = data["platform"]
+        except (KeyError, TypeError) as exc:
+            raise BadRequest("sweep spec needs a platform") from exc
+        clocks = data.get("clocks_hz")
+        return cls(
+            platform=platform,
+            clocks_hz=(
+                tuple(float(c) for c in clocks) if clocks else None
+            ),
+            active_cores=data.get("active_cores"),
+            powered_cores=data.get("powered_cores"),
+            band=_band_tuple(data.get("band")),
+            samples=data.get("samples"),
+        )
+
+
+@dataclass(frozen=True)
+class VirusSpec:
+    """A GA virus-generation campaign (never coalesced: exclusive)."""
+
+    platform: str
+    generations: int = 3
+    population: int = 8
+    loop_length: int = 8
+    mutation_rate: float = 0.03
+    seed: int = 0
+    resume_dir: Optional[str] = None
+
+    kind = "virus"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "platform": self.platform,
+            "generations": self.generations,
+            "population": self.population,
+            "loop_length": self.loop_length,
+            "mutation_rate": self.mutation_rate,
+            "seed": self.seed,
+            "resume_dir": self.resume_dir,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "VirusSpec":
+        try:
+            platform = data["platform"]
+        except (KeyError, TypeError) as exc:
+            raise BadRequest("virus spec needs a platform") from exc
+        return cls(
+            platform=platform,
+            generations=int(data.get("generations", 3)),
+            population=int(data.get("population", 8)),
+            loop_length=int(data.get("loop_length", 8)),
+            mutation_rate=float(data.get("mutation_rate", 0.03)),
+            seed=int(data.get("seed", 0)),
+            resume_dir=data.get("resume_dir"),
+        )
+
+
+SPEC_TYPES = {
+    "measure": MeasureSpec,
+    "sweep": SweepSpec,
+    "virus": VirusSpec,
+}
+
+
+def spec_from_params(kind: str, params: Dict[str, Any]):
+    """Parse a wire-format ``(kind, params)`` pair into a typed spec."""
+    try:
+        spec_cls = SPEC_TYPES[kind]
+    except KeyError:
+        raise BadRequest(
+            f"unknown job kind {kind!r} (expected one of "
+            f"{', '.join(JOB_KINDS)})"
+        ) from None
+    if not isinstance(params, dict):
+        raise BadRequest("params must be a JSON object")
+    return spec_cls.from_dict(params)
+
+
+# ---------------------------------------------------------------------------
+# the job record
+# ---------------------------------------------------------------------------
+@dataclass
+class Job:
+    """One submitted request moving through the service lifecycle."""
+
+    id: str
+    tenant: str
+    spec: Any
+    seq: int
+    deadline: Optional[float] = None  # service-clock absolute time
+    status: str = QUEUED
+    result: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+    batch_id: Optional[str] = None
+    cancel_requested: bool = False
+    future: Optional["asyncio.Future"] = None
+    #: Chronological per-job progress notes (event name + payload).
+    progress: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def kind(self) -> str:
+        return self.spec.kind
+
+    @property
+    def finished(self) -> bool:
+        return self.status in TERMINAL_STATES
+
+    def note(self, event: str, **payload: Any) -> None:
+        self.progress.append({"event": event, **payload})
+
+    def view(self) -> Dict[str, Any]:
+        """JSON-safe status view (the GET /v1/jobs/<id> body)."""
+        view: Dict[str, Any] = {
+            "job_id": self.id,
+            "tenant": self.tenant,
+            "kind": self.kind,
+            "status": self.status,
+            "spec": self.spec.to_dict(),
+            "batch_id": self.batch_id,
+        }
+        if self.result is not None:
+            view["result"] = self.result
+        if self.error is not None:
+            view["error"] = self.error
+        return view
+
+    async def wait(self, timeout_s: Optional[float] = None):
+        """Await the job's result payload (in-proc clients).
+
+        Raises the job's terminal exception (:class:`JobTimeout`,
+        :class:`JobCancelled`, or the wrapped failure) instead of
+        returning, mirroring what an HTTP poller would read off the
+        terminal status.
+        """
+        if self.future is None:
+            raise ServiceError(f"job {self.id} has no attached future")
+        return await asyncio.wait_for(
+            asyncio.shield(self.future), timeout_s
+        )

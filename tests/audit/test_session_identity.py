@@ -61,17 +61,84 @@ class TestAliasingRegression:
         assert session._analyzer_token(a) != session._analyzer_token(b)
         assert session._analyzer_token(a) == session._analyzer_token(a)
 
-    def test_analyzer_registry_holds_strong_reference(self):
+    def test_analyzer_registry_is_weak_and_never_reissues(self):
+        """A dead analyzer's registry entry is dropped (no leak), but
+        its token is never minted again: the counter is monotonic, so
+        an address-reusing successor gets a strictly newer token."""
         session = SimulationSession()
-        token = session._analyzer_token(
-            SpectrumAnalyzer(rng=np.random.default_rng(2))
+        issued = set()
+        for _ in range(50):
+            analyzer = SpectrumAnalyzer(rng=np.random.default_rng(2))
+            token = session._analyzer_token(analyzer)
+            assert token not in issued  # never re-issued
+            issued.add(token)
+            # Stable while alive.
+            assert session._analyzer_token(analyzer) == token
+            del analyzer
+            gc.collect()
+        # Bounded: every dropped analyzer's entry self-removed.
+        assert len(session._analyzer_tokens) == 0
+        assert session._next_analyzer_token == 50
+
+    def test_registry_bounded_under_churn_with_survivors(self):
+        """Long-lived-session profile: many analyzers come and go
+        through the public cache API while a few survive.  The
+        registry must end bounded by the survivors, with the
+        survivors' tokens stable throughout."""
+        session = SimulationSession()
+        survivors = [
+            SpectrumAnalyzer(rng=np.random.default_rng(i))
+            for i in range(3)
+        ]
+        tokens = [session._analyzer_token(a) for a in survivors]
+        for _ in range(100):
+            transient = SpectrumAnalyzer(rng=np.random.default_rng(9))
+            session.band_mask(transient, (60e6, 80e6))
+            del transient
+            gc.collect()
+        assert len(session._analyzer_tokens) == len(survivors)
+        assert [
+            session._analyzer_token(a) for a in survivors
+        ] == tokens
+
+
+class TestBandMaskValidation:
+    """band_mask must reject bands that would silently mask nothing."""
+
+    def setup_method(self):
+        self.session = SimulationSession()
+        self.analyzer = SpectrumAnalyzer(rng=np.random.default_rng(0))
+
+    def test_inverted_band_raises(self):
+        with pytest.raises(ValueError, match="inverted band"):
+            self.session.band_mask(self.analyzer, (200.0e6, 50.0e6))
+
+    @pytest.mark.parametrize(
+        "band",
+        [
+            (float("nan"), 200.0e6),
+            (50.0e6, float("nan")),
+            (float("nan"), float("nan")),
+            (float("inf"), 200.0e6),
+            (50.0e6, float("-inf")),
+        ],
+    )
+    def test_non_finite_endpoints_raise(self, band):
+        with pytest.raises(ValueError, match="finite"):
+            self.session.band_mask(self.analyzer, band)
+
+    def test_valid_band_unchanged(self):
+        mask = self.session.band_mask(self.analyzer, (60.0e6, 80.0e6))
+        centers = self.analyzer.bin_centers()
+        np.testing.assert_array_equal(
+            mask, (centers >= 60.0e6) & (centers <= 80.0e6)
         )
-        gc.collect()
-        # The registered analyzer is kept alive by the session, so the
-        # token can never be re-issued to a different object.
-        registered, registered_token = session._analyzer_tokens[token]
-        assert registered_token == token
-        assert isinstance(registered, SpectrumAnalyzer)
+        assert mask.any()
+
+    def test_degenerate_equal_endpoints_allowed(self):
+        # lo == hi is a legal (if narrow) band, not an inversion.
+        mask = self.session.band_mask(self.analyzer, (70.0e6, 70.0e6))
+        assert mask.sum() <= 1
 
 
 class TestFifoEviction:

@@ -1,0 +1,87 @@
+"""Property-based invariant of the measurement service.
+
+The coalescer only ever takes contiguous prefix runs of the pending
+queue, so the way compatible submissions happen to interleave -- i.e.
+how the fixed submission order gets partitioned into batches -- must
+not change any job's result.  Hypothesis drives arbitrary contiguous
+partitions of a job sequence and compares every per-job payload, plus
+the shared analyzer's final RNG state, against the fully sequential
+twin service.
+"""
+
+import asyncio
+import json
+
+from hypothesis import given, settings, strategies as st
+
+from repro.service import MeasurementService
+
+#: Fixed submission order of mutually compatible jobs (shared
+#: platform/band/samples -> one CompatKey).
+SPECS = [
+    ("measure", {"platform": "a53", "program_seed": seed})
+    for seed in (1, 2, 3, 4)
+]
+
+partitions = st.lists(
+    st.integers(min_value=1, max_value=len(SPECS)),
+    min_size=1,
+    max_size=len(SPECS),
+).filter(lambda sizes: sum(sizes) == len(SPECS))
+
+
+def _service():
+    return MeasurementService(seed=99, samples=2)
+
+
+def _rng_state(service):
+    analyzer = service._states["a53"].characterizer.analyzer
+    return json.dumps(
+        analyzer.rng.bit_generator.state, sort_keys=True, default=str
+    )
+
+
+async def _run_partitioned(sizes):
+    """Submit SPECS group by group; each group coalesces into one
+    batch because submission is synchronous and the service drains
+    fully (join) between groups."""
+    async with _service() as svc:
+        results = [None] * len(SPECS)
+        cursor = 0
+        for size in sizes:
+            group = [
+                (cursor + offset, SPECS[cursor + offset])
+                for offset in range(size)
+            ]
+            jobs = [
+                (index, svc.submit(kind, params))
+                for index, (kind, params) in group
+            ]
+            for index, job in jobs:
+                results[index] = await job.wait()
+            await svc.join()
+            cursor += size
+        assert svc.counters["batches"] == len(sizes)
+        return results, _rng_state(svc)
+
+
+_SEQUENTIAL = None
+
+
+def _sequential_twin():
+    """The all-singleton partition, computed once per test run."""
+    global _SEQUENTIAL
+    if _SEQUENTIAL is None:
+        _SEQUENTIAL = asyncio.run(_run_partitioned([1] * len(SPECS)))
+    return _SEQUENTIAL
+
+
+@settings(max_examples=8, deadline=None)
+@given(sizes=partitions)
+def test_any_contiguous_partition_matches_sequential(sizes):
+    batched_results, batched_rng = asyncio.run(_run_partitioned(sizes))
+    serial_results, serial_rng = _sequential_twin()
+    assert json.dumps(batched_results, sort_keys=True) == json.dumps(
+        serial_results, sort_keys=True
+    )
+    assert batched_rng == serial_rng

@@ -1,0 +1,202 @@
+"""HTTP front end: wire roundtrips and error mapping.
+
+Each test boots a real :class:`ServiceServer` on an OS-assigned port
+and drives it with the stdlib-streams :class:`HttpClient`, so the
+whole request path -- parsing, routing, status mapping, long-poll --
+is exercised over an actual TCP connection.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.service import (
+    BadRequest,
+    HttpClient,
+    MeasurementService,
+    RateLimited,
+    ServiceServer,
+    UnknownJob,
+)
+
+MEASURE = {"platform": "a53", "program_seed": 1}
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+async def _boot(**kwargs):
+    kwargs.setdefault("seed", 3)
+    kwargs.setdefault("samples", 3)
+    service = await MeasurementService(**kwargs).start()
+    server = await ServiceServer(service, port=0).start()
+    return service, server, HttpClient(server.host, server.port)
+
+
+class TestRoutes:
+    def test_healthz(self):
+        async def run():
+            service, server, client = await _boot()
+            try:
+                assert (await client.healthz())["ok"] is True
+            finally:
+                await server.close()
+                await service.close()
+
+        _run(run())
+
+    def test_submit_wait_view_events_stats(self):
+        async def run():
+            service, server, client = await _boot()
+            try:
+                accepted = await client.submit("measure", MEASURE)
+                assert accepted["status"] in ("queued", "running")
+                job_id = accepted["job_id"]
+                done = await client.wait(job_id)
+                assert done["status"] == "done"
+                assert done["result"]["kind"] == "em-measurement"
+                view = await client.view(job_id)
+                assert view == done
+                events = await client.events(job_id)
+                names = [e["event"] for e in events["events"]]
+                assert names[0] == "submitted"
+                assert "finished" in names
+                stats = await client.stats()
+                assert stats["counters"]["done"] == 1
+            finally:
+                await server.close()
+                await service.close()
+
+        _run(run())
+
+    def test_wait_long_poll_returns_202_while_running(self):
+        async def run():
+            # Not started: the job can never finish, so a bounded
+            # wait must come back 202 with the live view.
+            service = MeasurementService(seed=3, samples=3)
+            server = await ServiceServer(service, port=0).start()
+            client = HttpClient(server.host, server.port)
+            try:
+                accepted = await client.submit("measure", MEASURE)
+                status, payload = await client.request(
+                    "GET",
+                    f"/v1/jobs/{accepted['job_id']}/wait"
+                    "?timeout_s=0.05",
+                )
+                assert status == 202
+                assert payload["status"] == "queued"
+            finally:
+                await server.close()
+                await service.close()
+
+        _run(run())
+
+    def test_cancel_roundtrip(self):
+        async def run():
+            service = MeasurementService(seed=3, samples=3)
+            server = await ServiceServer(service, port=0).start()
+            client = HttpClient(server.host, server.port)
+            try:
+                accepted = await client.submit("measure", MEASURE)
+                view = await client.cancel(accepted["job_id"])
+                assert view["status"] == "cancelled"
+            finally:
+                await server.close()
+                await service.close()
+
+        _run(run())
+
+
+class TestErrorMapping:
+    def test_unknown_job_is_404_and_typed(self):
+        async def run():
+            service, server, client = await _boot()
+            try:
+                status, payload = await client.request(
+                    "GET", "/v1/jobs/job-000077"
+                )
+                assert status == 404
+                assert payload["type"] == "UnknownJob"
+                with pytest.raises(UnknownJob):
+                    await client.view("job-000077")
+            finally:
+                await server.close()
+                await service.close()
+
+        _run(run())
+
+    def test_bad_request_is_400_and_typed(self):
+        async def run():
+            service, server, client = await _boot()
+            try:
+                with pytest.raises(BadRequest):
+                    await client.submit("calibrate", {"platform": "a53"})
+            finally:
+                await server.close()
+                await service.close()
+
+        _run(run())
+
+    def test_rate_limited_is_429_with_retry_after(self):
+        async def run():
+            service, server, client = await _boot(
+                rate_per_s=0.001, burst=1.0
+            )
+            try:
+                await client.submit("measure", MEASURE)
+                status, payload = await client.request(
+                    "POST",
+                    "/v1/jobs",
+                    {"kind": "measure", "params": MEASURE},
+                )
+                assert status == 429
+                assert payload["retry_after_s"] > 0.0
+                with pytest.raises(RateLimited) as excinfo:
+                    await client.submit("measure", MEASURE)
+                assert excinfo.value.retry_after_s > 0.0
+            finally:
+                await server.close()
+                await service.close()
+
+        _run(run())
+
+    def test_unknown_route_is_404(self):
+        async def run():
+            service, server, client = await _boot()
+            try:
+                status, _ = await client.request("GET", "/nope")
+                assert status == 404
+                status, _ = await client.request(
+                    "DELETE", "/v1/jobs/job-1"
+                )
+                assert status == 405
+            finally:
+                await server.close()
+                await service.close()
+
+        _run(run())
+
+    def test_malformed_body_is_400(self):
+        async def run():
+            service, server, _client = await _boot()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    server.host, server.port
+                )
+                body = b"not json"
+                writer.write(
+                    b"POST /v1/jobs HTTP/1.1\r\n"
+                    b"Content-Length: %d\r\n\r\n%s"
+                    % (len(body), body)
+                )
+                await writer.drain()
+                status_line = await reader.readline()
+                assert b"400" in status_line
+                writer.close()
+                await writer.wait_closed()
+            finally:
+                await server.close()
+                await service.close()
+
+        _run(run())

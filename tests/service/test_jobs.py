@@ -1,0 +1,109 @@
+"""Job specs: wire-format parsing, validation, lifecycle views."""
+
+import pytest
+
+from repro.service.jobs import (
+    DONE,
+    QUEUED,
+    BadRequest,
+    Job,
+    MeasureSpec,
+    QueueFull,
+    RateLimited,
+    SweepSpec,
+    VirusSpec,
+    spec_from_params,
+)
+
+
+class TestSpecParsing:
+    def test_measure_roundtrip(self):
+        spec = spec_from_params(
+            "measure",
+            {
+                "platform": "a53",
+                "program_seed": 7,
+                "band": [60e6, 90e6],
+                "samples": 3,
+            },
+        )
+        assert isinstance(spec, MeasureSpec)
+        assert spec.band == (60e6, 90e6)
+        again = MeasureSpec.from_dict(spec.to_dict())
+        assert again == spec
+
+    def test_sweep_roundtrip(self):
+        spec = spec_from_params(
+            "sweep", {"platform": "a53", "clocks_hz": [1.15e9, 1.1e9]}
+        )
+        assert isinstance(spec, SweepSpec)
+        assert SweepSpec.from_dict(spec.to_dict()) == spec
+
+    def test_virus_roundtrip(self):
+        spec = spec_from_params(
+            "virus", {"platform": "a53", "generations": 2}
+        )
+        assert isinstance(spec, VirusSpec)
+        assert VirusSpec.from_dict(spec.to_dict()) == spec
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(BadRequest, match="unknown job kind"):
+            spec_from_params("calibrate", {"platform": "a53"})
+
+    def test_missing_platform_rejected(self):
+        for kind in ("measure", "sweep", "virus"):
+            with pytest.raises(BadRequest, match="platform"):
+                spec_from_params(kind, {})
+
+    def test_non_dict_params_rejected(self):
+        with pytest.raises(BadRequest, match="JSON object"):
+            spec_from_params("measure", [1, 2])
+
+    @pytest.mark.parametrize(
+        "band", [[2e8, 1e8], [float("nan"), 1e8], [1e8], "bad"]
+    )
+    def test_bad_band_rejected(self, band):
+        with pytest.raises(BadRequest):
+            spec_from_params(
+                "measure", {"platform": "a53", "band": band}
+            )
+
+
+class TestErrors:
+    def test_http_status_mapping(self):
+        assert BadRequest("x").http_status == 400
+        assert QueueFull(9).http_status == 429
+        limited = RateLimited("alice", 1.5)
+        assert limited.http_status == 429
+        assert limited.retry_after_s == 1.5
+        assert "alice" in str(limited)
+
+
+class TestJobRecord:
+    def _job(self):
+        return Job(
+            id="job-1",
+            tenant="t",
+            spec=MeasureSpec(platform="a53"),
+            seq=1,
+        )
+
+    def test_view_shape(self):
+        job = self._job()
+        view = job.view()
+        assert view["job_id"] == "job-1"
+        assert view["kind"] == "measure"
+        assert view["status"] == QUEUED
+        assert "result" not in view
+        job.status = DONE
+        job.result = {"amplitude_w": 1.0}
+        assert job.view()["result"] == {"amplitude_w": 1.0}
+
+    def test_progress_notes_accumulate(self):
+        job = self._job()
+        job.note("submitted", tenant="t")
+        job.note("batched", batch_id="batch-1")
+        assert [n["event"] for n in job.progress] == [
+            "submitted",
+            "batched",
+        ]

@@ -1,0 +1,375 @@
+"""MeasurementService behavior: determinism, overload, lifecycle.
+
+The headline test pins the service's bit-identity contract: a
+coalesced batch of compatible jobs produces byte-for-byte the same
+per-job results -- and leaves the shared analyzer RNG in the same
+state -- as the identical jobs submitted strictly sequentially to a
+twin service built with the same seed.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.obs.events import EventLog, MemorySink
+from repro.obs.manifest import RunManifest
+from repro.platforms import registry
+from repro.service import (
+    BadRequest,
+    InprocClient,
+    JobCancelled,
+    JobTimeout,
+    MeasurementService,
+    QueueFull,
+    RateLimited,
+    UnknownJob,
+)
+
+CLOCKS = registry.make_cluster("a53").spec.allowed_clocks_hz()[:2]
+
+MEASURE_SPECS = [
+    {"platform": "a53", "program_seed": 1},
+    {"platform": "a53", "program_seed": 2},
+    {"platform": "a53", "program_seed": 3},
+]
+
+
+def _service(**kwargs):
+    kwargs.setdefault("seed", 11)
+    kwargs.setdefault("samples", 3)
+    return MeasurementService(**kwargs)
+
+
+def _rng_state(service, platform="a53"):
+    analyzer = service._states[platform].characterizer.analyzer
+    return json.dumps(
+        analyzer.rng.bit_generator.state, sort_keys=True, default=str
+    )
+
+
+class TestDeterminism:
+    def test_coalesced_batch_bit_identical_to_sequential(self):
+        async def coalesced():
+            async with _service() as svc:
+                jobs = [
+                    svc.submit("measure", spec)
+                    for spec in MEASURE_SPECS
+                ]
+                results = [await j.wait() for j in jobs]
+                # All three really rode one batch.
+                assert svc.counters["batches"] == 1
+                assert len({j.batch_id for j in jobs}) == 1
+                return results, _rng_state(svc)
+
+        async def sequential():
+            async with _service() as svc:
+                results = []
+                for spec in MEASURE_SPECS:
+                    job = svc.submit("measure", spec)
+                    results.append(await job.wait())
+                assert svc.counters["batches"] == 3
+                return results, _rng_state(svc)
+
+        batched, rng_a = asyncio.run(coalesced())
+        serial, rng_b = asyncio.run(sequential())
+        assert json.dumps(batched, sort_keys=True) == json.dumps(
+            serial, sort_keys=True
+        )
+        assert rng_a == rng_b
+
+    def test_mixed_measure_sweep_coalesce_and_match_sequential(self):
+        specs = [
+            ("measure", {"platform": "a53", "program_seed": 5}),
+            ("sweep", {"platform": "a53", "clocks_hz": list(CLOCKS)}),
+            ("measure", {"platform": "a53", "program_seed": 6}),
+        ]
+
+        async def run(sequential):
+            async with _service() as svc:
+                results = []
+                if sequential:
+                    for kind, params in specs:
+                        results.append(
+                            await svc.submit(kind, params).wait()
+                        )
+                else:
+                    jobs = [svc.submit(k, p) for k, p in specs]
+                    results = [await j.wait() for j in jobs]
+                    assert svc.counters["batches"] == 1
+                return results, _rng_state(svc)
+
+        batched, rng_a = asyncio.run(run(sequential=False))
+        serial, rng_b = asyncio.run(run(sequential=True))
+        assert json.dumps(batched, sort_keys=True) == json.dumps(
+            serial, sort_keys=True
+        )
+        assert rng_a == rng_b
+
+    def test_incompatible_settings_split_but_stay_deterministic(self):
+        specs = [
+            {"platform": "a53", "program_seed": 1},
+            {"platform": "a53", "program_seed": 2, "samples": 5},
+            {"platform": "a53", "program_seed": 3},
+        ]
+
+        async def run():
+            async with _service() as svc:
+                jobs = [svc.submit("measure", s) for s in specs]
+                results = [await j.wait() for j in jobs]
+                # Differing samples breaks the run at job 2: no batch
+                # may skip over it.
+                assert svc.counters["batches"] == 3
+                return results
+
+        first = asyncio.run(run())
+        second = asyncio.run(run())
+        assert json.dumps(first, sort_keys=True) == json.dumps(
+            second, sort_keys=True
+        )
+
+
+class TestOverload:
+    def test_rate_limited_tenant_gets_429(self):
+        async def run():
+            async with _service(rate_per_s=0.001, burst=1.0) as svc:
+                client = InprocClient(svc)
+                job = client.submit(
+                    "measure", MEASURE_SPECS[0], tenant="alice"
+                )
+                with pytest.raises(RateLimited) as excinfo:
+                    client.submit(
+                        "measure", MEASURE_SPECS[1], tenant="alice"
+                    )
+                assert excinfo.value.http_status == 429
+                assert excinfo.value.retry_after_s > 0.0
+                # An independent tenant is not affected.
+                other = client.submit(
+                    "measure", MEASURE_SPECS[1], tenant="bob"
+                )
+                await asyncio.gather(job.wait(), other.wait())
+                assert svc.counters["rejected_rate_limit"] == 1
+
+        asyncio.run(run())
+
+    def test_full_queue_sheds_load(self):
+        async def run():
+            svc = _service(max_pending_jobs=2)  # never started: no drain
+            svc.submit("measure", MEASURE_SPECS[0])
+            svc.submit("measure", MEASURE_SPECS[1])
+            with pytest.raises(QueueFull) as excinfo:
+                svc.submit("measure", MEASURE_SPECS[2])
+            assert excinfo.value.http_status == 429
+            assert svc.counters["rejected_queue_full"] == 1
+
+        asyncio.run(run())
+
+
+class TestLifecycle:
+    def test_queued_job_times_out(self):
+        async def run():
+            svc = _service()
+            job = svc.submit(
+                "measure", MEASURE_SPECS[0], timeout_s=0.005
+            )
+            await asyncio.sleep(0.05)  # expire while still queued
+            await svc.start()
+            with pytest.raises(JobTimeout):
+                await job.wait()
+            assert job.status == "timeout"
+            await svc.close()
+
+        asyncio.run(run())
+
+    def test_cancel_queued_job(self):
+        async def run():
+            svc = _service()
+            job = svc.submit("measure", MEASURE_SPECS[0])
+            svc.cancel(job.id)
+            assert job.status == "cancelled"
+            await svc.start()
+            with pytest.raises(JobCancelled):
+                await job.wait()
+            await svc.close()
+
+        asyncio.run(run())
+
+    def test_unknown_platform_rejected_before_queueing(self):
+        async def run():
+            async with _service() as svc:
+                with pytest.raises(BadRequest, match="pdp11"):
+                    svc.submit("measure", {"platform": "pdp11"})
+                assert len(svc._coalescer) == 0
+
+        asyncio.run(run())
+
+    def test_invalid_operating_point_rejects_submission(self):
+        async def run():
+            async with _service() as svc:
+                with pytest.raises(BadRequest, match="not reachable"):
+                    svc.submit(
+                        "measure",
+                        {"platform": "a53", "clock_hz": 1.23456e9},
+                    )
+
+        asyncio.run(run())
+
+    def test_close_without_drain_cancels_queued_jobs(self):
+        async def run():
+            svc = _service()
+            await svc.start()
+            # Occupy the dispatcher, then pile on queued work.
+            first = svc.submit("measure", MEASURE_SPECS[0])
+            await first.wait()
+            svc._wake.clear()
+            queued = svc.submit("measure", MEASURE_SPECS[1])
+            await svc.close()
+            assert queued.status == "cancelled"
+
+        asyncio.run(run())
+
+
+class TestVirusJobs:
+    def test_virus_runs_exclusively(self):
+        async def run():
+            async with _service() as svc:
+                virus = svc.submit(
+                    "virus",
+                    {
+                        "platform": "a53",
+                        "generations": 1,
+                        "population": 2,
+                        "loop_length": 4,
+                    },
+                )
+                measure = svc.submit("measure", MEASURE_SPECS[0])
+                summary = await virus.wait()
+                await measure.wait()
+                assert summary["kind"] == "ga-run-summary"
+                assert svc.counters["batches"] == 2  # never coalesced
+
+        asyncio.run(run())
+
+    def test_virus_resume_from_missing_checkpoint_fails_cleanly(
+        self, tmp_path
+    ):
+        missing = tmp_path / "nope" / "checkpoint.json"
+
+        async def run():
+            async with _service() as svc:
+                job = svc.submit(
+                    "virus",
+                    {
+                        "platform": "a53",
+                        "generations": 1,
+                        "population": 2,
+                        "resume_dir": str(missing),
+                    },
+                )
+                with pytest.raises(Exception):
+                    await job.wait()
+                assert job.status == "failed"
+                # One-line error naming the path, not a traceback.
+                assert str(missing) in job.error
+                assert "\n" not in job.error
+
+        asyncio.run(run())
+
+
+class TestPersistence:
+    def test_unknown_job_error_names_checked_path(self, tmp_path):
+        async def run():
+            async with _service(state_dir=tmp_path) as svc:
+                with pytest.raises(UnknownJob) as excinfo:
+                    svc.job_view("job-000099")
+                message = str(excinfo.value)
+                assert "job-000099" in message
+                assert str(tmp_path / "job-000099") in message
+                assert "\n" not in message
+
+        asyncio.run(run())
+
+    def test_unknown_job_without_state_dir(self):
+        async def run():
+            async with _service() as svc:
+                with pytest.raises(UnknownJob, match="job-000042"):
+                    svc.get("job-000042")
+
+        asyncio.run(run())
+
+    def test_evicted_job_rehydrates_from_manifest(self, tmp_path):
+        async def run():
+            async with _service(
+                state_dir=tmp_path, max_finished_jobs=1
+            ) as svc:
+                first = svc.submit("measure", MEASURE_SPECS[0])
+                await first.wait()
+                second = svc.submit("measure", MEASURE_SPECS[1])
+                await second.wait()
+                assert first.id not in svc._jobs  # evicted
+                view = svc.job_view(first.id)
+                assert view["from_manifest"] is True
+                assert view["status"] == "done"
+                assert view["result"]["kind"] == "em-measurement"
+                # The artifact dir speaks the standard provenance
+                # protocol.
+                manifest = RunManifest.load(tmp_path / first.id)
+                assert manifest.command == "service-measure"
+                assert manifest.extra["job_id"] == first.id
+                assert "result.json" in manifest.artifacts
+
+        asyncio.run(run())
+
+    def test_provenance_report_renders_service_job(self, tmp_path):
+        from repro.analysis.report import report_from_provenance
+
+        async def run():
+            async with _service(state_dir=tmp_path) as svc:
+                job = svc.submit("measure", MEASURE_SPECS[0])
+                await job.wait()
+                return job.id
+
+        job_id = asyncio.run(run())
+        report = report_from_provenance(tmp_path / job_id)
+        assert "service-measure" in report
+
+
+class TestObservability:
+    def test_job_events_stream_with_batch_tags(self):
+        sink = MemorySink()
+
+        async def run():
+            async with _service(event_log=EventLog([sink])) as svc:
+                jobs = [
+                    svc.submit("measure", spec)
+                    for spec in MEASURE_SPECS[:2]
+                ]
+                for job in jobs:
+                    await job.wait()
+                return jobs
+
+        jobs = asyncio.run(run())
+        names = [r["event"] for r in sink.records]
+        assert names.count("job_submitted") == 2
+        assert names.count("job_batched") == 1
+        assert names.count("job_done") == 2
+        assert names[-1] == "service_stop"
+        # Chain events carry the job attribution.
+        chain_events = [
+            r for r in sink.records if r["event"] == "chain_run"
+        ]
+        assert chain_events
+        assert chain_events[0]["jobs"] == [j.id for j in jobs]
+        assert chain_events[0]["batch"] == jobs[0].batch_id
+
+    def test_stats_shape(self):
+        async def run():
+            async with _service() as svc:
+                job = svc.submit("measure", MEASURE_SPECS[0])
+                await job.wait()
+                stats = svc.stats()
+                assert stats["counters"]["done"] == 1
+                assert stats["queue_depth"] == 0
+                assert stats["platforms_active"] == ["a53"]
+
+        asyncio.run(run())

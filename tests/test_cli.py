@@ -23,6 +23,24 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sweep", "--platform", "m1"])
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.host == "127.0.0.1"
+        assert args.port == 8423
+        assert args.rate is None
+        assert args.state_dir is None
+
+    def test_serve_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--rate", "2.5",
+             "--state-dir", "/tmp/svc", "--timeout", "30"]
+        )
+        assert args.port == 0
+        assert args.rate == 2.5
+        assert args.state_dir == "/tmp/svc"
+        assert args.timeout == 30.0
+
 
 class TestResolve:
     @pytest.mark.parametrize(
@@ -203,9 +221,41 @@ class TestResumeFlow:
         assert manifest.extra["resumed_from"] == str(ckpt)
         assert manifest.extra["checkpoint"] == "checkpoint.json"
 
-    def test_resume_flag_requires_existing_file(self, tmp_path):
-        with pytest.raises(FileNotFoundError):
-            main(VIRUS_ARGS + ["--resume", str(tmp_path / "nope.json")])
+    def test_resume_missing_file_fails_with_one_line_error(
+        self, capsys, tmp_path
+    ):
+        """No traceback: a clear one-liner naming the path, exit 2."""
+        missing = tmp_path / "nope.json"
+        assert main(VIRUS_ARGS + ["--resume", str(missing)]) == 2
+        err = capsys.readouterr().err
+        assert f"error: cannot resume from {missing}" in err
+        assert str(missing) in err
+
+    def test_resume_missing_island_dir_fails_with_one_line_error(
+        self, capsys, tmp_path
+    ):
+        missing = tmp_path / "no-island-checkpoints"
+        args = VIRUS_ARGS + [
+            "--islands", "2", "--migration-interval", "1",
+            "--resume", str(missing),
+        ]
+        assert main(args) == 2
+        err = capsys.readouterr().err
+        assert f"error: cannot resume from {missing}" in err
+
+    def test_resume_empty_island_dir_fails_with_one_line_error(
+        self, capsys, tmp_path
+    ):
+        empty = tmp_path / "island-checkpoints"
+        empty.mkdir()
+        args = VIRUS_ARGS + [
+            "--islands", "2", "--migration-interval", "1",
+            "--resume", str(empty),
+        ]
+        assert main(args) == 2
+        err = capsys.readouterr().err
+        assert f"error: cannot resume from {empty}" in err
+        assert "islands.json" in err
 
 
 class TestIslandFlow:
